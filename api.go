@@ -1,0 +1,115 @@
+// Package fxhenn is a from-scratch Go reproduction of FxHENN (Zhu et al.,
+// HPCA 2023): an automatic accelerator-generation framework for fully
+// homomorphic encrypted CNN inference on FPGAs.
+//
+// The public API covers the full flow the paper describes:
+//
+//   - define (or use the paper's) CNN models and compile them into packed
+//     HE-CNN networks over RNS-CKKS (LoLa-style packing);
+//   - run real encrypted inference with the built-in CKKS implementation
+//     and verify it against plaintext inference;
+//   - extract the per-layer HE-operation workload profile;
+//   - run design space exploration against an FPGA device model and obtain
+//     an accelerator design: module parallelism, buffer plan, HLS
+//     directives, and modeled latency/energy.
+//
+// The FPGA itself is simulated: calibrated resource–latency models stand in
+// for the Vivado HLS toolchain (see DESIGN.md for the substitution
+// rationale and calibration against the paper's measurements).
+package fxhenn
+
+import (
+	"fxhenn/internal/accel"
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/dse"
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/profile"
+)
+
+// Re-exported core types. The aliases are the public names; the internal
+// packages carry the implementations.
+type (
+	// Device is an FPGA platform description (DSP/BRAM/URAM capacities).
+	Device = fpga.Device
+	// CNN is a plaintext convolutional network.
+	CNN = cnn.Network
+	// Tensor is a CHW input tensor.
+	Tensor = cnn.Tensor
+	// HECNN is a packed homomorphic network compiled from a CNN.
+	HECNN = hecnn.Network
+	// HEContext bundles CKKS keys and machinery for encrypted inference.
+	HEContext = hecnn.Context
+	// Profile is the per-layer HE-operation workload description that
+	// drives design space exploration.
+	Profile = profile.Network
+	// Design is a generated accelerator design.
+	Design = accel.Design
+	// Parameters is a CKKS parameter set.
+	Parameters = ckks.Parameters
+	// DSEResult is a full exploration outcome (best design plus the
+	// explored cloud, e.g. for Pareto plots).
+	DSEResult = dse.Result
+	// BaselineDesign is the no-reuse reference accelerator.
+	BaselineDesign = dse.BaselineResult
+)
+
+// Evaluation platforms from the paper (§VII-A).
+var (
+	ACU9EG  = fpga.ACU9EG
+	ACU15EG = fpga.ACU15EG
+)
+
+// NewMNISTCNN returns the FxHENN-MNIST network geometry (CryptoNets/LoLa).
+func NewMNISTCNN() *CNN { return cnn.NewMNISTNet() }
+
+// NewCIFAR10CNN returns the FxHENN-CIFAR10 network geometry.
+func NewCIFAR10CNN() *CNN { return cnn.NewCIFAR10Net() }
+
+// MNISTParams returns the paper's MNIST CKKS parameters (N=8192, L=7,
+// 30-bit primes).
+func MNISTParams() Parameters { return ckks.ParamsMNIST() }
+
+// CIFAR10Params returns the paper's CIFAR-10 CKKS parameters (N=16384, L=7,
+// 36-bit primes).
+func CIFAR10Params() Parameters { return ckks.ParamsCIFAR10() }
+
+// Compile translates a plaintext CNN into its packed HE-CNN form for the
+// given slot capacity (params.Slots()).
+func Compile(c *CNN, slots int) *HECNN { return hecnn.Compile(c, slots) }
+
+// NewHEContext generates CKKS keys (including Galois keys for the given
+// rotations — obtain them from HECNN.RotationsNeeded).
+func NewHEContext(params Parameters, seed int64, rotations []int) *HEContext {
+	return hecnn.NewContext(params, seed, rotations)
+}
+
+// ProfileOf dry-runs a compiled HE-CNN and returns its workload profile.
+func ProfileOf(name string, n *HECNN, params Parameters, security int) *Profile {
+	rec := n.Count(params.MaxLevel())
+	return profile.FromRecorder(name, rec, params.LogN, params.L, params.QBits, security)
+}
+
+// PaperMNISTProfile returns the workload profile exactly as the paper
+// publishes it (826 HOPs, 280 KeySwitches).
+func PaperMNISTProfile() *Profile { return profile.PaperMNIST() }
+
+// PaperCIFAR10Profile returns the published CIFAR-10 workload profile.
+func PaperCIFAR10Profile() *Profile { return profile.PaperCIFAR10() }
+
+// BuildAccelerator runs design space exploration for a workload on a device
+// and returns the generated accelerator design.
+func BuildAccelerator(p *Profile, dev Device) (*Design, error) {
+	return accel.Generate(p, dev)
+}
+
+// Explore exposes the raw DSE result (the full design-point cloud).
+func Explore(p *Profile, dev Device) (*DSEResult, error) {
+	return dse.Explore(p, dev)
+}
+
+// Baseline builds the no-reuse reference design of §VII-C.
+func Baseline(p *Profile, dev Device) *BaselineDesign {
+	return dse.Baseline(p, dev)
+}

@@ -1,0 +1,97 @@
+package fxhenn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+)
+
+// TestPublicAPIFlow walks the whole advertised flow at reduced geometry:
+// compile → profile → DSE → design, plus a real encrypted inference.
+func TestPublicAPIFlow(t *testing.T) {
+	// Paper-profile path.
+	design, err := BuildAccelerator(PaperMNISTProfile(), ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.LatencySeconds() <= 0 {
+		t.Fatal("no latency")
+	}
+	if len(design.HLSDirectives()) == 0 {
+		t.Fatal("no directives")
+	}
+
+	// Derived-profile path.
+	params := MNISTParams()
+	net := Compile(NewMNISTCNN(), params.Slots())
+	p := ProfileOf("ours", net, params, 128)
+	if p.TotalHOPs() < 800 {
+		t.Fatalf("derived profile HOPs %d", p.TotalHOPs())
+	}
+	if _, err := Explore(p, ACU15EG); err != nil {
+		t.Fatal(err)
+	}
+	bl := Baseline(p, ACU9EG)
+	if bl.Cycles <= 0 {
+		t.Fatal("baseline empty")
+	}
+}
+
+// TestEncryptedInferenceViaAPI runs the tiny functional network through the
+// public facade.
+func TestEncryptedInferenceViaAPI(t *testing.T) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(5)
+	net := Compile(pnet, params.Slots())
+	ctx := NewHEContext(params, 9, net.RotationsNeeded(params.MaxLevel()))
+
+	img := cnn.NewTensor(1, 8, 8)
+	rng := rand.New(rand.NewSource(6))
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	want := pnet.Infer(img)
+	got, _ := net.Run(ctx, img)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-2 {
+			t.Fatalf("logit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParamsAccessorsAPI(t *testing.T) {
+	if MNISTParams().N() != 8192 || CIFAR10Params().N() != 16384 {
+		t.Fatal("parameter presets wrong")
+	}
+	if PaperCIFAR10Profile().TotalKS() != 57000 {
+		t.Fatal("paper CIFAR profile wrong")
+	}
+	if ACU9EG.DSP != 2520 || ACU15EG.DSP != 3528 {
+		t.Fatal("device exports wrong")
+	}
+	if NewCIFAR10CNN().Name != "FxHENN-CIFAR10" {
+		t.Fatal("CIFAR CNN export wrong")
+	}
+}
+
+// ExampleBuildAccelerator demonstrates the one-call framework flow.
+func ExampleBuildAccelerator() {
+	design, err := BuildAccelerator(PaperMNISTProfile(), ACU9EG)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("network: %s\n", design.Profile.Name)
+	fmt.Printf("device: %s\n", design.Device.Name)
+	fmt.Printf("latency: %.3f s\n", design.LatencySeconds())
+	fmt.Printf("nc_NTT: %d\n", design.Config().NcNTT)
+	// Output:
+	// network: FxHENN-MNIST
+	// device: ACU9EG
+	// latency: 0.162 s
+	// nc_NTT: 4
+}

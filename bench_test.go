@@ -1,0 +1,303 @@
+package fxhenn
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §5 maps each to its experiment). Each benchmark
+// regenerates its table/figure through the experiment engine; run with
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/experiments to print the actual tables.
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/dse"
+	"fxhenn/internal/experiments"
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/mlaas"
+	"fxhenn/internal/profile"
+	"fxhenn/internal/workload"
+)
+
+var benchEnv *experiments.Env
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	if benchEnv == nil {
+		benchEnv = experiments.NewEnv()
+	}
+	return benchEnv
+}
+
+func BenchmarkTable1_OpModules(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableI(io.Discard)
+	}
+}
+
+func BenchmarkTable2_PreliminaryDesign(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableII(io.Discard)
+	}
+}
+
+func BenchmarkTable3_BRAMImpact(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableIII(io.Discard)
+	}
+}
+
+func BenchmarkTable4_MACComparison(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableIV(io.Discard)
+	}
+}
+
+func BenchmarkTable5_DSEConfigs(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableV(io.Discard)
+	}
+}
+
+func BenchmarkTable6_Networks(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableVI(io.Discard)
+	}
+}
+
+func BenchmarkTable7_EndToEnd(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableVII(io.Discard)
+	}
+}
+
+func BenchmarkTable8_ConvVsFPL21(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableVIII(io.Discard)
+	}
+}
+
+func BenchmarkTable9_BaselineVsFxHENN(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TableIX(io.Discard)
+	}
+}
+
+func BenchmarkFig7_PerLayerBRAM(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fig7(io.Discard)
+	}
+}
+
+func BenchmarkFig8_PerLayerDSP(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fig8(io.Discard)
+	}
+}
+
+func BenchmarkFig9_ParetoFrontier(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fig9(io.Discard)
+	}
+}
+
+func BenchmarkFig10_Parallelism(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fig10(io.Discard)
+	}
+}
+
+// --- component-level benchmarks ---
+
+// BenchmarkDSE_MNIST measures one full exhaustive exploration (the paper
+// reports "a few seconds" for a few thousand design points; ours runs in
+// milliseconds).
+func BenchmarkDSE_MNIST(b *testing.B) {
+	p := profile.PaperMNIST()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Explore(p, fpga.ACU9EG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSE_CIFAR10 explores the large network's space.
+func BenchmarkDSE_CIFAR10(b *testing.B) {
+	p := profile.PaperCIFAR10()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Explore(p, fpga.ACU15EG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLatencyModel measures one network latency evaluation (the DSE
+// inner loop).
+func BenchmarkLatencyModel(b *testing.B) {
+	p := profile.PaperMNIST()
+	g := hemodel.GeometryFor(p)
+	c := hemodel.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		c.NetworkLatencyCycles(p, g)
+	}
+}
+
+// BenchmarkHECNNDryRun measures the op-count dry run of FxHENN-CIFAR10
+// (~128K recorded HE operations).
+func BenchmarkHECNNDryRun(b *testing.B) {
+	net := hecnn.Compile(cnn.NewCIFAR10Net(), 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Count(7)
+	}
+}
+
+// BenchmarkEncryptedTinyInference measures a full functional encrypted
+// inference at reduced geometry (conv→square→fc→square→fc on N=256).
+func BenchmarkEncryptedTinyInference(b *testing.B) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(1)
+	net := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 2, net.RotationsNeeded(params.MaxLevel()))
+	img := cnn.NewTensor(1, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(ctx, img)
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation suite (fine vs coarse
+// pipelining, buffer reuse, module reuse, DRAM spill).
+func BenchmarkAblations(b *testing.B) {
+	p := profile.PaperMNIST()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Ablate(p, fpga.ACU9EG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLaaSInference measures one full client-server encrypted
+// inference round trip over an in-memory connection (reduced geometry).
+func BenchmarkMLaaSInference(b *testing.B) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(1)
+	henet := hecnn.Compile(pnet, params.Slots())
+	kg := ckks.NewKeyGenerator(params, 2)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
+	server := mlaas.NewServer(params, henet, rlk, rtk)
+	client := mlaas.NewClient(params, henet, pk, sk, 3)
+	img := workload.Image(1, 8, 8, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cliConn, srvConn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer srvConn.Close()
+			server.Handle(srvConn)
+		}()
+		if _, err := client.Infer(cliConn, img); err != nil {
+			b.Fatal(err)
+		}
+		cliConn.Close()
+		<-done
+	}
+}
+
+// BenchmarkBatchAgreement measures the encrypted-vs-plaintext agreement
+// sweep over a small structured-image batch.
+func BenchmarkBatchAgreement(b *testing.B) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(5)
+	henet := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 6, henet.RotationsNeeded(params.MaxLevel()))
+	batch := workload.Batch(pnet, 2, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := workload.EvaluateAgreement(pnet, henet, ctx, batch)
+		if r.AgreementRate() != 1 {
+			b.Fatal("agreement lost")
+		}
+	}
+}
+
+// BenchmarkDSE_Parallel measures the worker-pool exploration.
+func BenchmarkDSE_Parallel(b *testing.B) {
+	p := profile.PaperMNIST()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ExploreParallel(p, fpga.ACU9EG); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchedInference measures CryptoNets-style batched encrypted
+// evaluation at reduced geometry (whole batch per run).
+func BenchmarkBatchedInference(b *testing.B) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(9)
+	bnet := hecnn.CompileBatched(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 10, nil)
+	images := workload.Batch(pnet, 4, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bnet.RunBatch(ctx, images)
+	}
+}
+
+// BenchmarkTrainTinyNet measures SGD training on the synthetic task.
+func BenchmarkTrainTinyNet(b *testing.B) {
+	train := workload.QuadrantDataset(1, 8, 8, 50, 1)
+	for i := 0; i < b.N; i++ {
+		net := cnn.NewTinyNet()
+		net.InitWeights(5)
+		if _, err := net.Train(train, cnn.TrainConfig{
+			Epochs: 2, LearningRate: 0.01, Seed: 7, LogitScale: 0.05,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

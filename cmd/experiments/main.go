@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures from the
+// reproduced FxHENN system, printing paper-reported numbers next to modeled
+// ones. See DESIGN.md §5 for the experiment index.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table 7
+//	experiments -fig 9
+//	experiments -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxhenn/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-9)")
+	fig := flag.Int("fig", 0, "regenerate one figure (7-10)")
+	abl := flag.Bool("ablations", false, "run the design-choice ablations")
+	packing := flag.Bool("packing", false, "compare LoLa vs batched packing")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	env := experiments.NewEnv()
+	w := os.Stdout
+
+	if *all || (*table == 0 && *fig == 0 && !*abl && !*packing) {
+		env.All(w)
+		return
+	}
+	if *abl {
+		env.Ablations(w)
+	}
+	if *packing {
+		env.PackingComparison(w)
+	}
+	switch *table {
+	case 0:
+	case 1:
+		env.TableI(w)
+	case 2:
+		env.TableII(w)
+	case 3:
+		env.TableIII(w)
+	case 4:
+		env.TableIV(w)
+	case 5:
+		env.TableV(w)
+	case 6:
+		env.TableVI(w)
+	case 7:
+		env.TableVII(w)
+	case 8:
+		env.TableVIII(w)
+	case 9:
+		env.TableIX(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (1-9)\n", *table)
+		os.Exit(2)
+	}
+	switch *fig {
+	case 0:
+	case 7:
+		env.Fig7(w)
+	case 8:
+		env.Fig8(w)
+	case 9:
+		env.Fig9(w)
+	case 10:
+		env.Fig10(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %d (7-10)\n", *fig)
+		os.Exit(2)
+	}
+}

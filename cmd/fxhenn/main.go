@@ -1,0 +1,113 @@
+// Command fxhenn is the framework CLI: given an HE-CNN model and a target
+// FPGA device it runs design space exploration and emits the generated
+// accelerator design — the modeled latency, the module instance plan, the
+// per-layer breakdown and the HLS directives (the paper's Fig. 1 flow).
+//
+// Usage:
+//
+//	fxhenn -model mnist -device ACU9EG
+//	fxhenn -model cifar10 -device ACU15EG -directives -layers -modules
+//	fxhenn -model mnist -profile derived
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fxhenn/internal/accel"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/profile"
+	"fxhenn/internal/report"
+)
+
+func main() {
+	model := flag.String("model", "mnist", "HE-CNN model: mnist or cifar10")
+	device := flag.String("device", "ACU9EG", "target FPGA: ACU9EG or ACU15EG")
+	src := flag.String("profile", "paper", "workload profile source: paper or derived")
+	directives := flag.Bool("directives", false, "print the generated HLS directives")
+	layers := flag.Bool("layers", false, "print the per-layer breakdown")
+	modules := flag.Bool("modules", false, "print the module instance plan")
+	asJSON := flag.Bool("json", false, "emit the full design as JSON")
+	flag.Parse()
+
+	dev, err := fpga.DeviceByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := workload(*model, *src)
+	if err != nil {
+		fatal(err)
+	}
+
+	design, err := accel.Generate(p, dev)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		raw, err := json.Marshal(design)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+	fmt.Println(design.Summary())
+	fmt.Printf("modeled energy per inference: %.2f J (TDP %.0f W)\n",
+		design.EnergyJoules(), dev.TDPWatts)
+
+	if *layers {
+		t := &report.Table{
+			Title:   "Per-layer breakdown",
+			Headers: []string{"layer", "kind", "level", "latency s", "BRAM blocks", "DSP", "off-chip X"},
+		}
+		for _, r := range design.PerLayer() {
+			t.AddRow(r.Name, r.Kind, report.I(r.Level), report.F(r.Seconds),
+				report.I(r.BRAM), report.I(r.DSP), report.F(r.OffchipX))
+		}
+		t.Render(os.Stdout)
+	}
+	if *modules {
+		t := &report.Table{
+			Title:   "Module instance plan",
+			Headers: []string{"module", "instance", "nc_NTT", "intra", "DSP", "used by"},
+		}
+		for _, mi := range design.ModulePlan() {
+			t.AddRow(mi.Op.String(), report.I(mi.Index), report.I(mi.NcNTT),
+				report.I(mi.Intra), report.I(mi.DSP), fmt.Sprint(mi.UsedBy))
+		}
+		t.Render(os.Stdout)
+	}
+	if *directives {
+		fmt.Println()
+		for _, d := range design.HLSDirectives() {
+			fmt.Println(d)
+		}
+	}
+}
+
+func workload(model, src string) (*profile.Network, error) {
+	switch model + "/" + src {
+	case "mnist/paper":
+		return profile.PaperMNIST(), nil
+	case "cifar10/paper":
+		return profile.PaperCIFAR10(), nil
+	case "mnist/derived":
+		net := hecnn.Compile(cnn.NewMNISTNet(), 4096)
+		return profile.FromRecorder("ours-MNIST", net.Count(7), 13, 7, 30, 128), nil
+	case "cifar10/derived":
+		net := hecnn.Compile(cnn.NewCIFAR10Net(), 8192)
+		return profile.FromRecorder("ours-CIFAR10", net.Count(7), 14, 7, 36, 192), nil
+	default:
+		return nil, fmt.Errorf("unknown model/profile %q/%q", model, src)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fxhenn:", err)
+	os.Exit(1)
+}

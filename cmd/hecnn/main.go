@@ -1,0 +1,104 @@
+// Command hecnn runs a functional homomorphic CNN inference end to end:
+// it packs and encrypts a synthetic image, evaluates every layer on real
+// RNS-CKKS ciphertexts, decrypts the logits, and checks them against
+// plaintext inference — the correctness ground truth behind the simulated
+// accelerator.
+//
+// Usage:
+//
+//	hecnn -net tiny          # reduced geometry, sub-second
+//	hecnn -net tinyconv      # reduced two-convolution network
+//	hecnn -net mnist         # full FxHENN-MNIST at N=8192 (takes ~1 min)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/workload"
+)
+
+func main() {
+	netName := flag.String("net", "tiny", "network: tiny, tinyconv or mnist")
+	seed := flag.Int64("seed", 1, "weight/input seed")
+	batch := flag.Int("batch", 0, "also evaluate encrypted-vs-plaintext agreement over a batch")
+	flag.Parse()
+
+	var (
+		pnet   *cnn.Network
+		params ckks.Parameters
+	)
+	switch *netName {
+	case "tiny":
+		pnet = cnn.NewTinyNet()
+		params = ckks.NewParameters(8, 30, 7, 45)
+	case "tinyconv":
+		pnet = cnn.NewTinyConvNet()
+		params = ckks.NewParameters(8, 30, 7, 45)
+	case "mnist":
+		pnet = cnn.NewMNISTNet()
+		params = ckks.ParamsMNIST()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+	pnet.InitWeights(*seed)
+	fmt.Printf("network: %s, parameters: %v\n", pnet.Name, params)
+
+	net := hecnn.Compile(pnet, params.Slots())
+	rots := net.RotationsNeeded(params.MaxLevel())
+	fmt.Printf("compiled: %d HE layers, %d rotation keys needed\n", len(net.Layers), len(rots))
+
+	start := time.Now()
+	ctx := hecnn.NewContext(params, *seed+100, rots)
+	fmt.Printf("key generation: %v\n", time.Since(start))
+
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	rng := rand.New(rand.NewSource(*seed + 7))
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	want := pnet.Infer(img)
+
+	start = time.Now()
+	got, rec := net.Run(ctx, img)
+	elapsed := time.Since(start)
+
+	fmt.Printf("encrypted inference: %v (software CKKS, not the FPGA model)\n", elapsed)
+	fmt.Printf("HE operations: %d total, %d KeySwitch\n", rec.TotalHOPs(), rec.TotalKeySwitches())
+	for _, l := range rec.Layers {
+		fmt.Printf("  %-6s %5d HOPs  %5d KS\n", l.Layer, l.HOPs(), l.KeySwitches())
+	}
+
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+		fmt.Printf("logit %d: encrypted %+.6f  plaintext %+.6f\n", i, got[i], want[i])
+	}
+	fmt.Printf("max |error| = %.2g; argmax match: %v\n", worst,
+		cnn.Argmax(got) == cnn.Argmax(want))
+	if worst > 1e-2 || cnn.Argmax(got) != cnn.Argmax(want) {
+		fmt.Fprintln(os.Stderr, "FAILED: encrypted inference diverged from plaintext")
+		os.Exit(1)
+	}
+	fmt.Println("OK: encrypted inference matches plaintext")
+
+	if *batch > 0 {
+		fmt.Printf("\nbatch agreement over %d structured images...\n", *batch)
+		r := workload.EvaluateAgreement(pnet, net, ctx, workload.Batch(pnet, *batch, *seed+1000))
+		fmt.Printf("argmax agreement: %d/%d (%.0f%%), max |error| %.2g, mean %.2g\n",
+			r.ArgmaxMatches, r.Images, 100*r.AgreementRate(), r.MaxAbsError, r.MeanAbsError)
+		if r.AgreementRate() < 1 {
+			os.Exit(1)
+		}
+	}
+}

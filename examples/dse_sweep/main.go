@@ -1,0 +1,63 @@
+// Example dse_sweep reproduces Fig. 9: the DSE design-point cloud and Pareto
+// frontier for FxHENN-MNIST under BRAM budgets from 350 to 1500 blocks,
+// emitted as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxhenn"
+	"fxhenn/internal/dse"
+	"fxhenn/internal/fpga"
+)
+
+func main() {
+	out := flag.String("o", "", "CSV output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	p := fxhenn.PaperMNISTProfile()
+
+	// The cloud: every explored design point (BRAM demand vs latency).
+	res, err := fxhenn.Explore(p, fxhenn.ACU9EG)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "kind,bram_blocks,latency_s,nc_ntt,ks_intra,ks_inter")
+	for _, s := range res.All {
+		if !s.Feasible || s.BRAM < 350 || s.BRAM > 1500 {
+			continue
+		}
+		emit(w, "point", s)
+	}
+	for _, s := range dse.ParetoFrontier(res.All) {
+		if s.BRAM < 350 || s.BRAM > 1500 {
+			continue
+		}
+		emit(w, "pareto", s)
+	}
+	// The generated designs for the two boards (the stars in Fig. 9).
+	for _, dev := range []fxhenn.Device{fpga.ACU9EG, fpga.ACU15EG} {
+		r, err := fxhenn.Explore(p, dev)
+		if err != nil {
+			panic(err)
+		}
+		emit(w, "device_"+dev.Name, *r.Best)
+	}
+}
+
+func emit(w *os.File, kind string, s dse.Solution) {
+	fmt.Fprintf(w, "%s,%d,%.6f,%d,%d,%d\n", kind, s.BRAM, s.Seconds,
+		s.Config.NcNTT, s.Config.Modules[4].Intra, s.Config.Modules[4].Inter)
+}

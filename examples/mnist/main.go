@@ -1,0 +1,81 @@
+// Example mnist runs the complete FxHENN-MNIST flow:
+//
+//  1. build the CryptoNets/LoLa MNIST network and compile it to a packed
+//     HE-CNN;
+//  2. dry-run it to extract the HE-operation workload profile;
+//  3. run design space exploration on both evaluation boards;
+//  4. (optionally, -encrypt) run a real encrypted inference at the paper's
+//     full N=8192 parameters and verify it against plaintext inference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fxhenn"
+	"fxhenn/internal/cnn"
+)
+
+func main() {
+	encrypt := flag.Bool("encrypt", false, "also run a real encrypted inference at N=8192 (~1 min)")
+	flag.Parse()
+
+	// Step 1: the plaintext network and its homomorphic compilation.
+	pnet := fxhenn.NewMNISTCNN()
+	pnet.InitWeights(2026)
+	params := fxhenn.MNISTParams()
+	henet := fxhenn.Compile(pnet, params.Slots())
+	fmt.Printf("%s: %d plaintext MACs; compiled to %d HE layers over %v\n",
+		pnet.Name, pnet.TotalMACs(), len(henet.Layers), params)
+
+	// Step 2: workload profile from a dry run.
+	p := fxhenn.ProfileOf("FxHENN-MNIST (derived)", henet, params, 128)
+	fmt.Printf("derived workload: %d HOPs, %d KeySwitch (paper: 826 / 280)\n\n",
+		p.TotalHOPs(), p.TotalKS())
+
+	// Step 3: DSE on both boards.
+	for _, dev := range []fxhenn.Device{fxhenn.ACU9EG, fxhenn.ACU15EG} {
+		design, err := fxhenn.BuildAccelerator(p, dev)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(design.Summary())
+		for _, r := range design.PerLayer() {
+			fmt.Printf("   %-5s %8.4f s  %4d BRAM  %4d DSP\n", r.Name, r.Seconds, r.BRAM, r.DSP)
+		}
+	}
+
+	// Step 4: functional encrypted inference (the ground truth).
+	if !*encrypt {
+		fmt.Println("\nrun with -encrypt to execute a real encrypted inference at N=8192")
+		return
+	}
+	fmt.Println("\ngenerating CKKS keys (N=8192, L=7)...")
+	start := time.Now()
+	ctx := fxhenn.NewHEContext(params, 99, henet.RotationsNeeded(params.MaxLevel()))
+	fmt.Printf("keygen: %v\n", time.Since(start))
+
+	img := cnn.NewTensor(1, 28, 28)
+	rng := rand.New(rand.NewSource(3))
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	want := pnet.Infer(img)
+
+	fmt.Println("running encrypted inference (software CKKS)...")
+	start = time.Now()
+	got, rec := henet.Run(ctx, img)
+	fmt.Printf("encrypted inference: %v, %d HE ops executed\n", time.Since(start), rec.TotalHOPs())
+
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("max logit error vs plaintext: %.2g; argmax match: %v\n",
+		worst, cnn.Argmax(got) == cnn.Argmax(want))
+}

@@ -1,0 +1,45 @@
+// Quickstart: the minimal FxHENN flow — take the paper's MNIST workload,
+// run design space exploration for a target FPGA, and inspect the generated
+// accelerator.
+package main
+
+import (
+	"fmt"
+
+	"fxhenn"
+)
+
+func main() {
+	// 1. A workload profile: per-layer HE-operation counts of an HE-CNN.
+	// Use the paper's published FxHENN-MNIST profile (826 HOPs, 280
+	// KeySwitch operations, CKKS N=8192/L=7).
+	workload := fxhenn.PaperMNISTProfile()
+	fmt.Printf("workload: %s — %d HOPs, %d KeySwitch ops\n",
+		workload.Name, workload.TotalHOPs(), workload.TotalKS())
+
+	// 2. Pick a target device and let the framework explore the design
+	// space (NTT cores, per-module intra/inter parallelism, buffers).
+	design, err := fxhenn.BuildAccelerator(workload, fxhenn.ACU9EG)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(design.Summary())
+
+	// 3. The design carries everything a Vivado HLS flow would need.
+	fmt.Println("\nfirst HLS directives:")
+	for i, d := range design.HLSDirectives() {
+		if i == 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println(" ", d)
+	}
+
+	// 4. Per-layer modeled execution.
+	fmt.Println("\nper-layer latency:")
+	for _, r := range design.PerLayer() {
+		fmt.Printf("  %-5s (%s, level %d): %8.4f s\n", r.Name, r.Kind, r.Level, r.Seconds)
+	}
+	fmt.Printf("\ntotal: %.3f s per encrypted inference at %.0f W TDP (paper: 0.24 s)\n",
+		design.LatencySeconds(), fxhenn.ACU9EG.TDPWatts)
+}

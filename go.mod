@@ -1,0 +1,3 @@
+module fxhenn
+
+go 1.22

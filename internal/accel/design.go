@@ -1,0 +1,171 @@
+// Package accel turns a DSE solution into a concrete accelerator design:
+// the module instance plan, the per-layer execution report (Fig. 7/8), the
+// HLS pragmas and directives that parameterize the paper's HLS C++ modules,
+// and an event-driven schedule simulator that cross-validates the
+// analytical latency model.
+package accel
+
+import (
+	"fmt"
+
+	"fxhenn/internal/dse"
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// Design is a generated accelerator for one HE-CNN on one device.
+type Design struct {
+	Profile  *profile.Network
+	Device   fpga.Device
+	Geometry hemodel.Geometry
+	Solution dse.Solution
+}
+
+// Generate runs the design space exploration and wraps the optimum.
+func Generate(p *profile.Network, dev fpga.Device) (*Design, error) {
+	res, err := dse.Explore(p, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Profile:  p,
+		Device:   dev,
+		Geometry: hemodel.GeometryFor(p),
+		Solution: *res.Best,
+	}, nil
+}
+
+// Config returns the chosen module parallelism.
+func (d *Design) Config() hemodel.Config { return d.Solution.Config }
+
+// LatencySeconds returns the modeled end-to-end inference latency.
+func (d *Design) LatencySeconds() float64 { return d.Solution.Seconds }
+
+// EnergyJoules returns latency × TDP, the Table VII energy metric.
+func (d *Design) EnergyJoules() float64 {
+	return d.Solution.Seconds * d.Device.TDPWatts
+}
+
+// LayerReport is the per-layer breakdown behind Fig. 7 (BRAM and latency)
+// and Fig. 8 (DSP per HE operation).
+type LayerReport struct {
+	Name    string
+	Kind    string // "NKS" or "KS"
+	Level   int
+	Cycles  int64
+	Seconds float64
+	// BRAM is the layer's buffer demand; BRAMShare is what it actually
+	// occupies given the device capacity (spill truncates).
+	BRAM     int
+	BRAMPct  float64
+	DSP      int
+	DSPPerOp [profile.NumOpClasses]int
+	OffchipX float64 // latency multiplier actually paid (1 = fully on-chip)
+}
+
+// PerLayer computes the layer reports under the design's configuration.
+func (d *Design) PerLayer() []LayerReport {
+	c := d.Solution.Config
+	g := d.Geometry
+	capBRAM := d.Device.EquivalentBRAM(c.TileWords(g))
+	var out []LayerReport
+	for i := range d.Profile.Layers {
+		l := &d.Profile.Layers[i]
+		kind := "NKS"
+		if l.KS {
+			kind = "KS"
+		}
+		onchip := c.LayerLatencyCycles(l, g)
+		actual := c.LayerLatencyWithBudget(l, g, capBRAM)
+		r := LayerReport{
+			Name:     l.Name,
+			Kind:     kind,
+			Level:    l.Level,
+			Cycles:   actual,
+			Seconds:  hemodel.Seconds(actual, d.Device.ClockHz),
+			BRAM:     c.LayerBRAM(l, g),
+			DSP:      c.LayerDSP(l),
+			OffchipX: float64(actual) / float64(onchip),
+		}
+		r.BRAMPct = float64(min(r.BRAM, capBRAM)) / float64(d.Device.BRAM36K) * 100
+		for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+			if l.UsesOp(op) {
+				r.DSPPerOp[op] = hemodel.OpDSPScaled(op, c.NcNTT,
+					c.Modules[op].Intra, c.Modules[op].Inter)
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ModuleInstance describes one physical HE operation module and the layers
+// that reuse it — the Fig. 8 reuse view (e.g. two KeySwitch instances shared
+// by Fc1 and Fc2 while each Act layer uses only one).
+type ModuleInstance struct {
+	Op     profile.OpClass
+	Index  int
+	NcNTT  int
+	Intra  int
+	DSP    int
+	UsedBy []string
+}
+
+// ModulePlan lists every physical module instance with its reuse map.
+func (d *Design) ModulePlan() []ModuleInstance {
+	c := d.Solution.Config
+	var plan []ModuleInstance
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		m := c.Modules[op]
+		anyUse := false
+		for i := range d.Profile.Layers {
+			if d.Profile.Layers[i].UsesOp(op) {
+				anyUse = true
+			}
+		}
+		if !anyUse {
+			continue
+		}
+		for inst := 0; inst < m.Inter; inst++ {
+			mi := ModuleInstance{
+				Op: op, Index: inst, NcNTT: c.NcNTT, Intra: m.Intra,
+				DSP: hemodel.OpDSPScaled(op, c.NcNTT, m.Intra, 1),
+			}
+			for i := range d.Profile.Layers {
+				l := &d.Profile.Layers[i]
+				if !l.UsesOp(op) {
+					continue
+				}
+				// A layer engages as many instances as it has concurrent
+				// work for; single-invocation layers keep one.
+				if l.Ops[op] > inst {
+					mi.UsedBy = append(mi.UsedBy, l.Name)
+				}
+			}
+			plan = append(plan, mi)
+		}
+	}
+	return plan
+}
+
+// Summary renders a one-paragraph description of the design.
+func (d *Design) Summary() string {
+	c := d.Solution.Config
+	return fmt.Sprintf(
+		"%s on %s: %.3f s, %d DSP (%.1f%%), %d BRAM blocks peak (cap %d), nc_NTT=%d, "+
+			"KS intra/inter=%d/%d, Rescale intra/inter=%d/%d",
+		d.Profile.Name, d.Device.Name, d.Solution.Seconds,
+		d.Solution.DSP, d.Solution.DSPPct(d.Device),
+		d.Solution.BRAM, d.Device.EquivalentBRAM(c.TileWords(d.Geometry)),
+		c.NcNTT,
+		c.Modules[profile.KeySwitch].Intra, c.Modules[profile.KeySwitch].Inter,
+		c.Modules[profile.Rescale].Intra, c.Modules[profile.Rescale].Inter)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package accel
+
+import (
+	"fmt"
+
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// HLSDirectives renders the design solution as the Vivado HLS pragmas and
+// Tcl directives that parameterize the HE operation modules — the concrete
+// "output of the FxHENN framework" (§IV): structure information plus HLS
+// pragmas/directives for the prebuilt modules. In the original flow these
+// feed vivado_hls; here they are the genuine design artifact a user would
+// carry to the Xilinx toolchain.
+func (d *Design) HLSDirectives() []string {
+	c := d.Solution.Config
+	g := d.Geometry
+	part := hemodel.PartitionFactor(c.NcNTT)
+
+	var out []string
+	add := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+
+	add("# FxHENN generated directives: %s on %s", d.Profile.Name, d.Device.Name)
+	add("# N=%d, L=%d, %d-bit RNS words", g.N, g.L, g.WordBits)
+	add("set_directive_interface -mode m_axi -bundle gmem0 he_top ciphertext_in")
+	add("set_directive_interface -mode m_axi -bundle gmem1 he_top keyswitch_keys")
+
+	// NTT core provisioning (shared by Rescale and KeySwitch modules).
+	add("# NTT module: %d butterfly cores", c.NcNTT)
+	add("set_directive_unroll -factor %d ntt_module/butterfly_loop", c.NcNTT)
+	add("set_directive_array_partition -type cyclic -factor %d ntt_module poly_buf", 2*part)
+
+	names := map[profile.OpClass]string{
+		profile.CCadd:     "ccadd_module",
+		profile.PCmult:    "pcmult_module",
+		profile.CCmult:    "ccmult_module",
+		profile.Rescale:   "rescale_module",
+		profile.KeySwitch: "keyswitch_module",
+	}
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		m := c.Modules[op]
+		name := names[op]
+		used := false
+		for i := range d.Profile.Layers {
+			if d.Profile.Layers[i].UsesOp(op) {
+				used = true
+			}
+		}
+		if !used {
+			add("# %s: unused by %s, not instantiated", name, d.Profile.Name)
+			continue
+		}
+		add("# %s: P_intra=%d, P_inter=%d", name, m.Intra, m.Inter)
+		add("set_directive_allocation -limit %d -type function he_top %s", m.Inter, name)
+		if op == profile.Rescale || op == profile.KeySwitch {
+			add("set_directive_unroll -factor %d %s/rns_poly_loop", m.Intra, name)
+			add("set_directive_array_partition -type block -factor %d %s rns_stage_buf", m.Intra, name)
+		} else if m.Intra > 1 {
+			add("set_directive_unroll -factor %d %s/coeff_loop", m.Intra, name)
+		}
+		add("set_directive_pipeline %s/main_loop", name)
+	}
+
+	add("# inter-layer buffer reuse: shared Bn/Bb pools, peak demand %d blocks", d.Solution.BRAM)
+	add("set_directive_bind_storage -type ram_2p -impl bram he_top bn_pool")
+	add("set_directive_bind_storage -type ram_2p -impl bram he_top bb_pool")
+	if d.Device.URAM > 0 {
+		add("set_directive_bind_storage -type ram_2p -impl uram he_top bn_overflow_pool")
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package accel
+
+import (
+	"encoding/json"
+
+	"fxhenn/internal/profile"
+)
+
+// JSON export of a generated design — the machine-readable artifact a
+// downstream build system (or the Vivado wrapper scripts) would consume.
+
+// designJSON is the stable serialized shape.
+type designJSON struct {
+	Network  string `json:"network"`
+	Device   string `json:"device"`
+	N        int    `json:"n"`
+	L        int    `json:"l"`
+	WordBits int    `json:"word_bits"`
+
+	LatencySeconds float64 `json:"latency_seconds"`
+	EnergyJoules   float64 `json:"energy_joules"`
+	DSP            int     `json:"dsp"`
+	BRAMPeak       int     `json:"bram_peak_blocks"`
+	BRAMOnChip     int     `json:"bram_on_chip_blocks"`
+	FitsOnChip     bool    `json:"fits_on_chip"`
+	NcNTT          int     `json:"nc_ntt"`
+
+	Modules []moduleJSON `json:"modules"`
+	Layers  []layerJSON  `json:"layers"`
+	HLS     []string     `json:"hls_directives"`
+}
+
+type moduleJSON struct {
+	Op     string   `json:"op"`
+	Intra  int      `json:"intra"`
+	Inter  int      `json:"inter"`
+	DSP    int      `json:"dsp_per_instance"`
+	UsedBy []string `json:"used_by"`
+}
+
+type layerJSON struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Level    int     `json:"level"`
+	Seconds  float64 `json:"seconds"`
+	BRAM     int     `json:"bram_blocks"`
+	DSP      int     `json:"dsp"`
+	OffchipX float64 `json:"offchip_factor"`
+}
+
+// MarshalJSON implements json.Marshaler for the full design artifact.
+func (d *Design) MarshalJSON() ([]byte, error) {
+	c := d.Solution.Config
+	out := designJSON{
+		Network:        d.Profile.Name,
+		Device:         d.Device.Name,
+		N:              d.Geometry.N,
+		L:              d.Geometry.L,
+		WordBits:       d.Geometry.WordBits,
+		LatencySeconds: d.Solution.Seconds,
+		EnergyJoules:   d.EnergyJoules(),
+		DSP:            d.Solution.DSP,
+		BRAMPeak:       d.Solution.BRAM,
+		BRAMOnChip:     d.Solution.BRAMOnChip,
+		FitsOnChip:     d.Solution.FitsOnChip,
+		NcNTT:          c.NcNTT,
+		HLS:            d.HLSDirectives(),
+	}
+	seen := map[profile.OpClass]*moduleJSON{}
+	for _, mi := range d.ModulePlan() {
+		if m, ok := seen[mi.Op]; ok {
+			m.Inter++
+			continue
+		}
+		m := &moduleJSON{
+			Op: mi.Op.String(), Intra: mi.Intra, Inter: 1,
+			DSP: mi.DSP, UsedBy: mi.UsedBy,
+		}
+		seen[mi.Op] = m
+	}
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		if m, ok := seen[op]; ok {
+			out.Modules = append(out.Modules, *m)
+		}
+	}
+	for _, r := range d.PerLayer() {
+		out.Layers = append(out.Layers, layerJSON{
+			Name: r.Name, Kind: r.Kind, Level: r.Level,
+			Seconds: r.Seconds, BRAM: r.BRAM, DSP: r.DSP, OffchipX: r.OffchipX,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,99 @@
+package accel
+
+import (
+	"container/heap"
+
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// Schedule simulator: an event-driven cross-check of the analytical latency
+// model. Each layer's HE operations are expanded into pipeline-slot jobs
+// (KeySwitch jobs occupy level-many slots, Fig. 3) and list-scheduled onto
+// the physical module instances of the design, with jobs chained into
+// independent streams the way the intra-layer pipeline overlaps independent
+// ciphertexts (§V-A). The simulated makespan should track — and never beat
+// by much — the closed-form Eq. 1/2 aggregate.
+
+// simJob is one pipeline slot occupancy.
+type simJob struct {
+	op     profile.OpClass
+	cycles int64
+	stream int
+}
+
+type instanceHeap []int64
+
+func (h instanceHeap) Len() int            { return len(h) }
+func (h instanceHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h instanceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *instanceHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *instanceHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SimulateLayerCycles list-schedules one layer's jobs and returns the
+// makespan in cycles.
+func SimulateLayerCycles(c hemodel.Config, layer *profile.Layer, g hemodel.Geometry, streams int) int64 {
+	if streams < 1 {
+		streams = 1
+	}
+	pi := int64(c.PipelineInterval(layer, g))
+
+	// Expand ops into jobs, round-robining across streams the way the
+	// pipeline interleaves independent ciphertext chains.
+	var jobs []simJob
+	s := 0
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		n := layer.Ops[op]
+		for i := 0; i < n; i++ {
+			w := int64(1)
+			if op == profile.KeySwitch {
+				w = int64(layer.Level)
+			}
+			jobs = append(jobs, simJob{op: op, cycles: w * pi, stream: s % streams})
+			s++
+		}
+	}
+
+	// Module instances as min-heaps of next-free times.
+	var free [profile.NumOpClasses]instanceHeap
+	for op := range free {
+		inter := c.Modules[op].Inter
+		free[op] = make(instanceHeap, inter)
+		heap.Init(&free[op])
+	}
+	streamReady := make([]int64, streams)
+
+	var makespan int64
+	for _, j := range jobs {
+		h := &free[j.op]
+		instFree := heap.Pop(h).(int64)
+		start := instFree
+		if r := streamReady[j.stream]; r > start {
+			start = r
+		}
+		end := start + j.cycles
+		heap.Push(h, end)
+		streamReady[j.stream] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// SimulateCycles schedules every layer sequentially (inter-layer data
+// dependencies force this, which is what makes inter-layer resource reuse
+// free — §V-C) and returns the total.
+func SimulateCycles(d *Design, streams int) int64 {
+	var total int64
+	for i := range d.Profile.Layers {
+		total += SimulateLayerCycles(d.Solution.Config, &d.Profile.Layers[i], d.Geometry, streams)
+	}
+	return total
+}

@@ -1,0 +1,334 @@
+package ckks
+
+import (
+	"fmt"
+
+	"fxhenn/internal/modarith"
+	"fxhenn/internal/ring"
+)
+
+// Evaluator executes homomorphic operations. It optionally records every
+// operation into a Trace, which is how the hecnn package derives the
+// per-layer HE-operation profiles (HOPs, KS counts) that drive the
+// accelerator's design space exploration.
+type Evaluator struct {
+	params Parameters
+	rlk    *RelinearizationKey
+	rtk    *RotationKeys
+
+	Trace *Trace // optional; nil disables recording
+
+	// ModDown constants for the special prime p: p^{-1} mod q_j and
+	// p mod q_j, plus the centering threshold.
+	pInvQ []modarith.MulConst
+	pModQ []uint64
+	halfP uint64
+	spIdx int // ring row index of the special prime
+}
+
+// NewEvaluator creates an evaluator. rlk may be nil if CCmult is never used;
+// rtk may be nil if Rotate is never used.
+func NewEvaluator(params Parameters, rlk *RelinearizationKey, rtk *RotationKeys) *Evaluator {
+	r := params.Ring()
+	ev := &Evaluator{params: params, rlk: rlk, rtk: rtk, spIdx: params.L}
+	p := params.Special
+	ev.halfP = p >> 1
+	for j := 0; j < params.L; j++ {
+		mj := r.Mods[j]
+		ev.pInvQ = append(ev.pInvQ, modarith.NewMulConst(mj, mj.Inv(mj.Reduce(p))))
+		ev.pModQ = append(ev.pModQ, mj.Reduce(p))
+	}
+	return ev
+}
+
+// Params returns the evaluator's parameters.
+func (ev *Evaluator) Params() Parameters { return ev.params }
+
+func (ev *Evaluator) record(op Op, level int) {
+	if ev.Trace != nil {
+		ev.Trace.Record(op, level)
+	}
+}
+
+// alignLevels returns views of a and b truncated to their common level.
+func alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, int) {
+	la, lb := a.Level(), b.Level()
+	l := la
+	if lb < l {
+		l = lb
+	}
+	return ctView(a, l), ctView(b, l), l
+}
+
+func ctView(ct *Ciphertext, level int) *Ciphertext {
+	out := &Ciphertext{Scale: ct.Scale}
+	for _, p := range ct.Value {
+		out.Value = append(out.Value, truncate(p, level))
+	}
+	return out
+}
+
+// AddNew returns a + b (CCadd). Operands are aligned to the lower level;
+// scales must agree to within floating-point noise.
+func (ev *Evaluator) AddNew(a, b *Ciphertext) *Ciphertext {
+	av, bv, level := alignLevels(a, b)
+	checkScales(av.Scale, bv.Scale)
+	if a.Degree() != b.Degree() {
+		panic("ckks: CCadd degree mismatch")
+	}
+	r := ev.params.Ring()
+	out := NewCiphertext(ev.params, len(a.Value), level)
+	out.Scale = av.Scale
+	for i := range out.Value {
+		r.Add(out.Value[i], av.Value[i], bv.Value[i])
+	}
+	ev.record(OpCCadd, level)
+	return out
+}
+
+// SubNew returns a - b.
+func (ev *Evaluator) SubNew(a, b *Ciphertext) *Ciphertext {
+	av, bv, level := alignLevels(a, b)
+	checkScales(av.Scale, bv.Scale)
+	if a.Degree() != b.Degree() {
+		panic("ckks: CCsub degree mismatch")
+	}
+	r := ev.params.Ring()
+	out := NewCiphertext(ev.params, len(a.Value), level)
+	out.Scale = av.Scale
+	for i := range out.Value {
+		r.Sub(out.Value[i], av.Value[i], bv.Value[i])
+	}
+	ev.record(OpCCadd, level)
+	return out
+}
+
+// AddPlainNew returns ct + pt (PCadd). The plaintext must be at ct's level
+// or higher and share its scale.
+func (ev *Evaluator) AddPlainNew(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	level := ct.Level()
+	if pt.Level() < level {
+		panic("ckks: PCadd plaintext level below ciphertext level")
+	}
+	checkScales(ct.Scale, pt.Scale)
+	r := ev.params.Ring()
+	out := ct.Copy()
+	r.Add(out.Value[0], out.Value[0], truncate(pt.Value, level))
+	ev.record(OpPCadd, level)
+	return out
+}
+
+// MulPlainNew returns ct ⊙ pt (PCmult). Scales multiply; a Rescale is
+// normally applied afterwards, as in the paper's NKS pipeline.
+func (ev *Evaluator) MulPlainNew(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	level := ct.Level()
+	if pt.Level() < level {
+		panic("ckks: PCmult plaintext level below ciphertext level")
+	}
+	r := ev.params.Ring()
+	out := NewCiphertext(ev.params, len(ct.Value), level)
+	out.Scale = ct.Scale * pt.Scale
+	ptv := truncate(pt.Value, level)
+	for i := range out.Value {
+		r.MulCoeffs(out.Value[i], ct.Value[i], ptv)
+	}
+	ev.record(OpPCmult, level)
+	return out
+}
+
+// MulNew returns a ⊗ b (CCmult) followed by relinearization when a
+// relinearization key is available. Inputs must be degree-1.
+func (ev *Evaluator) MulNew(a, b *Ciphertext) *Ciphertext {
+	if a.Degree() != 1 || b.Degree() != 1 {
+		panic("ckks: CCmult requires degree-1 operands")
+	}
+	av, bv, level := alignLevels(a, b)
+	r := ev.params.Ring()
+	d0 := r.NewPoly(level)
+	d1 := r.NewPoly(level)
+	d2 := r.NewPoly(level)
+	r.MulCoeffs(d0, av.Value[0], bv.Value[0])
+	r.MulCoeffs(d1, av.Value[0], bv.Value[1])
+	r.MulCoeffsAdd(d1, av.Value[1], bv.Value[0])
+	r.MulCoeffs(d2, av.Value[1], bv.Value[1])
+	out := &Ciphertext{Value: []*ring.Poly{d0, d1, d2}, Scale: av.Scale * bv.Scale}
+	ev.record(OpCCmult, level)
+	if ev.rlk == nil {
+		return out
+	}
+	return ev.RelinearizeNew(out)
+}
+
+// RelinearizeNew switches the d2 term of a degree-2 ciphertext back to the
+// canonical secret, returning a degree-1 ciphertext (a KeySwitch operation
+// in the paper's taxonomy).
+func (ev *Evaluator) RelinearizeNew(ct *Ciphertext) *Ciphertext {
+	if ct.Degree() != 2 {
+		panic("ckks: Relinearize requires a degree-2 ciphertext")
+	}
+	if ev.rlk == nil {
+		panic("ckks: no relinearization key")
+	}
+	level := ct.Level()
+	r := ev.params.Ring()
+	u0, u1 := ev.keySwitchCore(ct.Value[2], &ev.rlk.SwitchingKey)
+	out := NewCiphertext(ev.params, 2, level)
+	out.Scale = ct.Scale
+	r.Add(out.Value[0], ct.Value[0], u0)
+	r.Add(out.Value[1], ct.Value[1], u1)
+	ev.record(OpRelin, level)
+	return out
+}
+
+// RescaleNew divides the ciphertext by its last prime, dropping one level
+// and dividing the scale accordingly (the Rescale HE operation, OP4).
+func (ev *Evaluator) RescaleNew(ct *Ciphertext) *Ciphertext {
+	level := ct.Level()
+	if level < 2 {
+		panic("ckks: cannot rescale below level 1")
+	}
+	r := ev.params.Ring()
+	out := ct.Copy()
+	qLast := ev.params.Moduli[level-1]
+	for _, p := range out.Value {
+		r.INTT(p)
+		r.DivRoundByLastModulus(p)
+		r.NTT(p)
+	}
+	out.Scale = ct.Scale / float64(qLast)
+	ev.record(OpRescale, level)
+	return out
+}
+
+// RotateNew rotates the slot vector left by k positions (a KeySwitch
+// operation). A matching Galois key must have been generated.
+func (ev *Evaluator) RotateNew(ct *Ciphertext, k int) *Ciphertext {
+	if k == 0 {
+		return ct.Copy()
+	}
+	g := ev.params.GaloisElementForRotation(k)
+	return ev.automorphismNew(ct, g)
+}
+
+// ConjugateNew applies complex conjugation to the slots.
+func (ev *Evaluator) ConjugateNew(ct *Ciphertext) *Ciphertext {
+	return ev.automorphismNew(ct, ev.params.GaloisElementConjugate())
+}
+
+func (ev *Evaluator) automorphismNew(ct *Ciphertext, g uint64) *Ciphertext {
+	if ct.Degree() != 1 {
+		panic("ckks: rotation requires a degree-1 ciphertext")
+	}
+	if ev.rtk == nil {
+		panic("ckks: no rotation keys")
+	}
+	swk, ok := ev.rtk.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing Galois key for element %d", g))
+	}
+	level := ct.Level()
+	r := ev.params.Ring()
+
+	// Apply σ_g in the coefficient domain to both parts.
+	c0 := ct.Value[0].Copy()
+	c1 := ct.Value[1].Copy()
+	r.INTT(c0)
+	r.INTT(c1)
+	p0 := r.NewPoly(level)
+	p1 := r.NewPoly(level)
+	r.Automorphism(p0, c0, g)
+	r.Automorphism(p1, c1, g)
+	r.NTT(p0)
+	r.NTT(p1)
+
+	// σ_g(ct) now decrypts under σ_g(s); switch the c1 part back to s.
+	u0, u1 := ev.keySwitchCore(p1, swk)
+	out := NewCiphertext(ev.params, 2, level)
+	out.Scale = ct.Scale
+	r.Add(out.Value[0], p0, u0)
+	out.Value[1] = u1
+	ev.record(OpRotate, level)
+	return out
+}
+
+// keySwitchCore computes the RNS-digit-decomposition keyswitch of the
+// NTT-domain polynomial c at level k: it accumulates Σ_i d_i ⊗ (B_i, A_i)
+// over the extended basis (q_0..q_{k-1}, p) and divides by the special
+// modulus p. This is the paper's bottleneck HE operation (OP5): per digit it
+// costs one INTT plus one NTT per target modulus, which is where the
+// L-times-slower KS pipeline stage of Fig. 3 comes from.
+func (ev *Evaluator) keySwitchCore(c *ring.Poly, swk *SwitchingKey) (u0, u1 *ring.Poly) {
+	r := ev.params.Ring()
+	k := c.K()
+	n := r.N
+	sp := ev.spIdx
+	spMod := r.Mods[sp]
+	spTab := r.Tables[sp]
+
+	cc := c.Copy()
+	r.INTT(cc)
+
+	u0 = r.NewPoly(k)
+	u1 = r.NewPoly(k)
+	u0p := make([]uint64, n)
+	u1p := make([]uint64, n)
+	digit := make([]uint64, n)
+
+	for i := 0; i < k; i++ {
+		d := cc.Coeffs[i] // digit i in coefficient domain, values < q_i
+		for j := 0; j < k; j++ {
+			if j == i {
+				copy(digit, d)
+			} else {
+				r.Mods[j].ReduceVec(digit, d)
+			}
+			r.Tables[j].Forward(digit)
+			r.Mods[j].MulAddVec(u0.Coeffs[j], digit, swk.B[i].Coeffs[j])
+			r.Mods[j].MulAddVec(u1.Coeffs[j], digit, swk.A[i].Coeffs[j])
+		}
+		spMod.ReduceVec(digit, d)
+		spTab.Forward(digit)
+		spMod.MulAddVec(u0p, digit, swk.B[i].Coeffs[sp])
+		spMod.MulAddVec(u1p, digit, swk.A[i].Coeffs[sp])
+	}
+
+	ev.modDown(u0, u0p)
+	ev.modDown(u1, u1p)
+	return u0, u1
+}
+
+// modDown divides the extended-basis accumulator (q-rows in u, special row
+// uP, all NTT domain) by the special prime with centered rounding, leaving
+// the q-basis result in u (NTT domain).
+func (ev *Evaluator) modDown(u *ring.Poly, uP []uint64) {
+	r := ev.params.Ring()
+	sp := ev.spIdx
+	r.INTT(u)
+	r.Tables[sp].Inverse(uP)
+	for j := 0; j < u.K(); j++ {
+		mj := r.Mods[j]
+		inv := ev.pInvQ[j]
+		pRed := ev.pModQ[j]
+		row := u.Coeffs[j]
+		for n := 0; n < r.N; n++ {
+			rep := mj.Reduce(uP[n])
+			if uP[n] > ev.halfP {
+				rep = mj.Sub(rep, pRed)
+			}
+			row[n] = inv.Mul(mj.Sub(row[n], rep), mj)
+		}
+	}
+	r.NTT(u)
+}
+
+// checkScales panics when two scales that must match diverge by more than a
+// relative 2^-20 — a symptom of a mismanaged rescale chain in calling code.
+func checkScales(a, b float64) {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > a/(1<<20) {
+		panic(fmt.Sprintf("ckks: scale mismatch %g vs %g", a, b))
+	}
+}

@@ -1,0 +1,129 @@
+package ckks
+
+import (
+	"fmt"
+
+	"fxhenn/internal/ring"
+)
+
+// Hoisted rotations (Halevi-Shoup): the expensive part of a rotation is the
+// keyswitch decomposition of c1 — one INTT plus a forward NTT per (digit,
+// modulus) pair. When the same ciphertext is rotated by many amounts (the
+// rotate-and-sum ladders of every KS layer), the decomposition can be
+// computed once and only permuted per rotation, because the Galois map is
+// an index permutation in the NTT domain. This is the classic optimization
+// the paper leaves on the table; it is exposed here as a library extension
+// and quantified by BenchmarkHoistedRotations.
+
+// HoistedDecomposition is the reusable NTT-domain keyswitch decomposition
+// of a ciphertext's c1 part over the extended basis (q_0..q_{k-1}, p).
+type HoistedDecomposition struct {
+	level   int
+	digitsQ [][][]uint64 // [digit][targetRow][coeff]
+	digitsP [][]uint64   // [digit][coeff]
+}
+
+// DecomposeForRotation computes the hoisted decomposition of ct (degree 1).
+func (ev *Evaluator) DecomposeForRotation(ct *Ciphertext) *HoistedDecomposition {
+	if ct.Degree() != 1 {
+		panic("ckks: hoisting requires a degree-1 ciphertext")
+	}
+	r := ev.params.Ring()
+	k := ct.Level()
+	sp := ev.spIdx
+
+	cc := ct.Value[1].Copy()
+	r.INTT(cc)
+
+	hd := &HoistedDecomposition{
+		level:   k,
+		digitsQ: make([][][]uint64, k),
+		digitsP: make([][]uint64, k),
+	}
+	for i := 0; i < k; i++ {
+		d := cc.Coeffs[i]
+		hd.digitsQ[i] = make([][]uint64, k)
+		for j := 0; j < k; j++ {
+			row := make([]uint64, r.N)
+			if j == i {
+				copy(row, d)
+			} else {
+				r.Mods[j].ReduceVec(row, d)
+			}
+			r.Tables[j].Forward(row)
+			hd.digitsQ[i][j] = row
+		}
+		prow := make([]uint64, r.N)
+		r.Mods[sp].ReduceVec(prow, d)
+		r.Tables[sp].Forward(prow)
+		hd.digitsP[i] = prow
+	}
+	return hd
+}
+
+// RotateHoisted rotates ct by every amount in ks using one shared
+// decomposition, returning a map from rotation amount to result. Rotation
+// by zero returns a copy.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) map[int]*Ciphertext {
+	if ev.rtk == nil {
+		panic("ckks: no rotation keys")
+	}
+	hd := ev.DecomposeForRotation(ct)
+	out := make(map[int]*Ciphertext, len(ks))
+	for _, k := range ks {
+		if _, done := out[k]; done {
+			continue
+		}
+		if k == 0 {
+			out[0] = ct.Copy()
+			continue
+		}
+		out[k] = ev.rotateWithDecomposition(ct, hd, k)
+	}
+	return out
+}
+
+// rotateWithDecomposition applies one rotation using the hoisted digits.
+func (ev *Evaluator) rotateWithDecomposition(ct *Ciphertext, hd *HoistedDecomposition, k int) *Ciphertext {
+	g := ev.params.GaloisElementForRotation(k)
+	swk, ok := ev.rtk.Keys[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: missing Galois key for rotation %d", k))
+	}
+	r := ev.params.Ring()
+	level := hd.level
+	n := r.N
+	sp := ev.spIdx
+	spMod := r.Mods[sp]
+	perm := r.NTTAutomorphismIndex(g)
+
+	u0 := r.NewPoly(level)
+	u1 := r.NewPoly(level)
+	u0p := make([]uint64, n)
+	u1p := make([]uint64, n)
+	tmp := make([]uint64, n)
+
+	for i := 0; i < level; i++ {
+		for j := 0; j < level; j++ {
+			ring.PermuteVec(tmp, hd.digitsQ[i][j], perm)
+			r.Mods[j].MulAddVec(u0.Coeffs[j], tmp, swk.B[i].Coeffs[j])
+			r.Mods[j].MulAddVec(u1.Coeffs[j], tmp, swk.A[i].Coeffs[j])
+		}
+		ring.PermuteVec(tmp, hd.digitsP[i], perm)
+		spMod.MulAddVec(u0p, tmp, swk.B[i].Coeffs[sp])
+		spMod.MulAddVec(u1p, tmp, swk.A[i].Coeffs[sp])
+	}
+	ev.modDown(u0, u0p)
+	ev.modDown(u1, u1p)
+
+	// σ_g(c0) directly in the NTT domain.
+	p0 := r.NewPoly(level)
+	r.PermuteNTT(p0, ct.Value[0], perm)
+
+	res := NewCiphertext(ev.params, 2, level)
+	res.Scale = ct.Scale
+	r.Add(res.Value[0], p0, u0)
+	res.Value[1] = u1
+	ev.record(OpRotate, level)
+	return res
+}

@@ -1,0 +1,116 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHoistedMatchesSequentialRotations: rotating via a shared hoisted
+// decomposition must give the same plaintexts as independent rotations.
+func TestHoistedMatchesSequentialRotations(t *testing.T) {
+	rots := []int{1, 2, 4, 8, 16}
+	tc := newTestContext(t, rots)
+	rng := rand.New(rand.NewSource(60))
+	v := randVec(tc.params.Slots(), 3, rng)
+	ct := tc.encryptVec(v, 4)
+
+	hoisted := tc.eval.RotateHoisted(ct, rots)
+	slots := tc.params.Slots()
+	for _, k := range rots {
+		seq := tc.decryptVec(tc.eval.RotateNew(ct, k))
+		hst := tc.decryptVec(hoisted[k])
+		for i := 0; i < slots; i++ {
+			want := v[(i+k)%slots]
+			if math.Abs(hst[i]-want) > 1e-2 {
+				t.Fatalf("k=%d slot %d: hoisted %g want %g", k, i, hst[i], want)
+			}
+			if math.Abs(hst[i]-seq[i]) > 1e-2 {
+				t.Fatalf("k=%d slot %d: hoisted %g vs sequential %g", k, i, hst[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestHoistedRotateAndSum: the KS-layer ladder computed entirely with one
+// decomposition per rung still sums correctly.
+func TestHoistedRotateAndSum(t *testing.T) {
+	rots := []int{1, 2, 4, 8, 16, 32, 64}
+	tc := newTestContext(t, rots)
+	rng := rand.New(rand.NewSource(61))
+	slots := tc.params.Slots()
+	v := randVec(slots, 1, rng)
+	acc := tc.encryptVec(v, 3)
+	for k := 1; k < slots; k <<= 1 {
+		rot := tc.eval.RotateHoisted(acc, []int{k})[k]
+		acc = tc.eval.AddNew(acc, rot)
+	}
+	want := 0.0
+	for _, x := range v {
+		want += x
+	}
+	if got := tc.decryptVec(acc)[0]; math.Abs(got-want) > 0.5 {
+		t.Fatalf("hoisted rotate-and-sum: %g want %g", got, want)
+	}
+}
+
+func TestHoistedZeroAndDuplicates(t *testing.T) {
+	tc := newTestContext(t, []int{3})
+	rng := rand.New(rand.NewSource(62))
+	v := randVec(16, 1, rng)
+	ct := tc.encryptVec(v, 3)
+	out := tc.eval.RotateHoisted(ct, []int{0, 3, 3, 0})
+	if len(out) != 2 {
+		t.Fatalf("expected 2 distinct results, got %d", len(out))
+	}
+	requireClose(t, tc.decryptVec(out[0])[:8], v[:8], 1e-4, "hoisted rotate 0")
+}
+
+func TestHoistedValidation(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	rng := rand.New(rand.NewSource(63))
+	ct := tc.encryptVec(randVec(8, 1, rng), 3)
+	// Missing key.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("missing Galois key did not panic")
+			}
+		}()
+		tc.eval.RotateHoisted(ct, []int{7})
+	}()
+	// No rotation keys at all.
+	evNoKeys := NewEvaluator(tc.params, nil, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no keys did not panic")
+			}
+		}()
+		evNoKeys.RotateHoisted(ct, []int{1})
+	}()
+}
+
+// BenchmarkSequentialVsHoisted quantifies the hoisting win for a ladder of
+// rotations of the same ciphertext.
+func BenchmarkSequentialRotations(b *testing.B) {
+	rots := []int{1, 2, 4, 8, 16, 32}
+	tc := newTestContext(b, rots)
+	ct := tc.encryptVec(randVec(tc.params.Slots(), 1, rand.New(rand.NewSource(64))), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range rots {
+			tc.eval.RotateNew(ct, k)
+		}
+	}
+}
+
+func BenchmarkHoistedRotations(b *testing.B) {
+	rots := []int{1, 2, 4, 8, 16, 32}
+	tc := newTestContext(b, rots)
+	ct := tc.encryptVec(randVec(tc.params.Slots(), 1, rand.New(rand.NewSource(65))), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.RotateHoisted(ct, rots)
+	}
+}

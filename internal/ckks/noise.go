@@ -1,0 +1,156 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analytic noise estimation. CKKS is approximate: every operation adds a
+// bounded error to the slot values. The estimator propagates a high-
+// probability error bound through an operation chain so callers can decide
+// — before spending compute or provisioning hardware — whether a network's
+// depth survives a parameter set. TestNoiseEstimateSound checks the bound
+// dominates measured error across op chains while staying within a few
+// orders of magnitude of it.
+
+// NoiseEstimate tracks a ciphertext's error bound in slot-value units,
+// together with the value/scale bookkeeping the propagation rules need.
+type NoiseEstimate struct {
+	// Err bounds the absolute slot error.
+	Err float64
+	// MaxVal bounds the slot magnitude (message bound).
+	MaxVal float64
+	// Scale is the CKKS scale.
+	Scale float64
+	// Level is the remaining prime count.
+	Level int
+}
+
+// NoiseModel derives per-op error terms from a parameter set.
+type NoiseModel struct {
+	params Parameters
+	sqrtN  float64
+}
+
+// safety widens every error term: the canonical embedding concentrates
+// coefficient noise unevenly across slots, so the per-slot tail exceeds the
+// RMS by a small factor. Eight standard-ish deviations keeps the bound a
+// bound (TestNoiseEstimateSound) without making it useless.
+const safety = 8.0
+
+// NewNoiseModel builds an estimator for the parameters.
+func NewNoiseModel(params Parameters) *NoiseModel {
+	return &NoiseModel{params: params, sqrtN: math.Sqrt(float64(params.N()))}
+}
+
+// encodeErr is the slot-domain rounding error of encoding at the scale:
+// coefficient rounding of ±0.5 diffuses across sqrt(N) basis directions.
+func (m *NoiseModel) encodeErr(scale float64) float64 {
+	return safety * 0.5 * m.sqrtN / scale
+}
+
+// freshErr is the slot-domain error of a fresh encryption: RLWE noise of
+// width σ≈3.2 through the public-key terms (≈ σ·sqrt(2N/3)·(sqrtN)).
+func (m *NoiseModel) freshErr(scale float64) float64 {
+	const sigma = 3.24
+	coeff := sigma * math.Sqrt(2*float64(m.params.N())/3)
+	return safety * coeff * m.sqrtN / scale
+}
+
+// keySwitchErr is the slot error added by one keyswitch (digit
+// decomposition with a special modulus): Σ_i |d_i|·e_i / p, with |d_i| < q.
+func (m *NoiseModel) keySwitchErr(level int, scale float64) float64 {
+	const sigma = 3.24
+	q := math.Exp2(float64(m.params.QBits))
+	p := float64(m.params.Special)
+	coeff := float64(level) * q * sigma * m.sqrtN / p
+	return safety * coeff * m.sqrtN / scale
+}
+
+// rescaleErr is the rounding error of dropping one prime.
+func (m *NoiseModel) rescaleErr(newScale float64) float64 {
+	return safety * 0.5 * m.sqrtN / newScale
+}
+
+// Fresh returns the estimate for a newly encrypted vector with |v| ≤ maxVal.
+func (m *NoiseModel) Fresh(maxVal float64, level int) NoiseEstimate {
+	s := m.params.Scale
+	return NoiseEstimate{
+		Err:    m.encodeErr(s) + m.freshErr(s),
+		MaxVal: maxVal,
+		Scale:  s,
+		Level:  level,
+	}
+}
+
+// Add propagates CCadd/PCadd.
+func (m *NoiseModel) Add(a, b NoiseEstimate) NoiseEstimate {
+	level := a.Level
+	if b.Level < level {
+		level = b.Level
+	}
+	return NoiseEstimate{
+		Err:    a.Err + b.Err,
+		MaxVal: a.MaxVal + b.MaxVal,
+		Scale:  a.Scale,
+		Level:  level,
+	}
+}
+
+// MulPlain propagates PCmult by a plaintext with |w| ≤ wMax.
+func (m *NoiseModel) MulPlain(a NoiseEstimate, wMax float64) NoiseEstimate {
+	// Product error: e·w + v·εw + e·εw; the plaintext encodes at the
+	// parameter scale.
+	ew := m.encodeErr(m.params.Scale)
+	return NoiseEstimate{
+		Err:    a.Err*wMax + a.MaxVal*ew + a.Err*ew,
+		MaxVal: a.MaxVal * wMax,
+		Scale:  a.Scale * m.params.Scale,
+		Level:  a.Level,
+	}
+}
+
+// Square propagates CCmult(x, x) with relinearization.
+func (m *NoiseModel) Square(a NoiseEstimate) NoiseEstimate {
+	return NoiseEstimate{
+		Err:    2*a.MaxVal*a.Err + a.Err*a.Err + m.keySwitchErr(a.Level, a.Scale*a.Scale),
+		MaxVal: a.MaxVal * a.MaxVal,
+		Scale:  a.Scale * a.Scale,
+		Level:  a.Level,
+	}
+}
+
+// Rescale propagates the level drop.
+func (m *NoiseModel) Rescale(a NoiseEstimate) NoiseEstimate {
+	q := math.Exp2(float64(m.params.QBits))
+	newScale := a.Scale / q
+	return NoiseEstimate{
+		Err:    a.Err + m.rescaleErr(newScale),
+		MaxVal: a.MaxVal,
+		Scale:  newScale,
+		Level:  a.Level - 1,
+	}
+}
+
+// Rotate propagates a slot rotation (one keyswitch).
+func (m *NoiseModel) Rotate(a NoiseEstimate) NoiseEstimate {
+	return NoiseEstimate{
+		Err:    a.Err + m.keySwitchErr(a.Level, a.Scale),
+		MaxVal: a.MaxVal,
+		Scale:  a.Scale,
+		Level:  a.Level,
+	}
+}
+
+// CapacityOK reports whether the message still fits the remaining modulus:
+// maxVal·scale must stay below Q_level/2 with headroom.
+func (m *NoiseModel) CapacityOK(a NoiseEstimate) bool {
+	logBudget := float64(a.Level*m.params.QBits) - 1
+	need := math.Log2(a.MaxVal+a.Err) + math.Log2(a.Scale)
+	return need < logBudget
+}
+
+// String renders the estimate.
+func (e NoiseEstimate) String() string {
+	return fmt.Sprintf("NoiseEstimate{err≤%.3g, |v|≤%.3g, level %d}", e.Err, e.MaxVal, e.Level)
+}

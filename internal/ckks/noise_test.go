@@ -1,0 +1,146 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// measureErr returns the max absolute slot error of ct against want.
+func measureErr(tc *testContext, ct *Ciphertext, want []float64) float64 {
+	got := tc.decryptVec(ct)
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestNoiseEstimateSound: across representative operation chains, the
+// analytic bound must dominate the measured error without being absurdly
+// loose (≤ 10^5 slack — it is a high-probability bound built from
+// worst-case terms).
+func TestNoiseEstimateSound(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	m := NewNoiseModel(tc.params)
+	rng := rand.New(rand.NewSource(70))
+
+	check := func(name string, measured float64, est NoiseEstimate) {
+		t.Helper()
+		if measured > est.Err {
+			t.Fatalf("%s: measured error %.3g exceeds bound %.3g", name, measured, est.Err)
+		}
+		if est.Err > measured*1e5 && est.Err > 1e-3 {
+			t.Fatalf("%s: bound %.3g uselessly loose vs measured %.3g", name, est.Err, measured)
+		}
+	}
+
+	// Fresh encryption.
+	v := randVec(tc.params.Slots(), 1, rng)
+	ct := tc.encryptVec(v, tc.params.L)
+	est := m.Fresh(1, tc.params.L)
+	check("fresh", measureErr(tc, ct, v), est)
+
+	// CCadd chain.
+	sum := ct
+	sumEst := est
+	want := append([]float64(nil), v...)
+	for i := 0; i < 4; i++ {
+		sum = tc.eval.AddNew(sum, ct)
+		sumEst = m.Add(sumEst, est)
+		for j := range want {
+			want[j] += v[j]
+		}
+	}
+	check("add chain", measureErr(tc, sum, want), sumEst)
+
+	// PCmult + Rescale chain (depth 3).
+	cur := ct
+	curEst := est
+	want = append([]float64(nil), v...)
+	for d := 0; d < 3; d++ {
+		w := randVec(tc.params.Slots(), 1, rng)
+		pw := tc.enc.Encode(w, cur.Level(), tc.params.Scale)
+		cur = tc.eval.RescaleNew(tc.eval.MulPlainNew(cur, pw))
+		curEst = m.Rescale(m.MulPlain(curEst, 1))
+		for j := range want {
+			want[j] *= w[j]
+		}
+	}
+	check("pcmult depth 3", measureErr(tc, cur, want), curEst)
+
+	// Square + rescale.
+	sq := tc.eval.RescaleNew(tc.eval.MulNew(ct, ct))
+	sqEst := m.Rescale(m.Square(est))
+	wantSq := make([]float64, len(v))
+	for i := range v {
+		wantSq[i] = v[i] * v[i]
+	}
+	check("square", measureErr(tc, sq, wantSq), sqEst)
+
+	// Rotation ladder.
+	rot := ct
+	rotEst := est
+	for i := 0; i < 3; i++ {
+		rot = tc.eval.RotateNew(rot, 1)
+		rotEst = m.Rotate(rotEst)
+	}
+	wantRot := make([]float64, len(v))
+	slots := tc.params.Slots()
+	for i := range v {
+		wantRot[i] = v[(i+3)%slots]
+	}
+	check("rotate x3", measureErr(tc, rot, wantRot), rotEst)
+}
+
+// TestNoiseLevelsAndScales: the estimator's bookkeeping mirrors the real
+// evaluator's levels and scales.
+func TestNoiseLevelsAndScales(t *testing.T) {
+	params := paramsTest()
+	m := NewNoiseModel(params)
+	est := m.Fresh(1, params.L)
+	if est.Level != params.L || est.Scale != params.Scale {
+		t.Fatal("fresh bookkeeping wrong")
+	}
+	est = m.Rescale(m.MulPlain(est, 2))
+	if est.Level != params.L-1 {
+		t.Fatalf("level %d after rescale", est.Level)
+	}
+	if est.MaxVal != 2 {
+		t.Fatalf("maxVal %g", est.MaxVal)
+	}
+	// Scale returns to ≈ the base scale after one mul+rescale.
+	if est.Scale < params.Scale/2 || est.Scale > params.Scale*2 {
+		t.Fatalf("scale %g drifted", est.Scale)
+	}
+}
+
+// TestCapacityCheck: the depth-5 HE-CNN pattern passes at L=7 but a message
+// too large for the remaining modulus is flagged.
+func TestCapacityCheck(t *testing.T) {
+	params := NewParameters(8, 30, 7, 45)
+	m := NewNoiseModel(params)
+
+	est := m.Fresh(1.5, params.L)
+	for d := 0; d < 5; d++ {
+		if d%2 == 0 {
+			est = m.Rescale(m.MulPlain(est, 1))
+		} else {
+			est = m.Rescale(m.Square(est))
+		}
+		if !m.CapacityOK(est) {
+			t.Fatalf("depth-%d step flagged as overflow at L=7", d+1)
+		}
+	}
+	if est.Level != 2 {
+		t.Fatalf("final level %d", est.Level)
+	}
+
+	// A huge message at level 1 must be flagged.
+	bad := NoiseEstimate{Err: 0, MaxVal: 1 << 20, Scale: params.Scale, Level: 1}
+	if m.CapacityOK(bad) {
+		t.Fatal("level-1 overflow not flagged")
+	}
+}

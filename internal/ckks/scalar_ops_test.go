@@ -1,0 +1,109 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNegNew(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(90))
+	v := randVec(tc.params.Slots(), 5, rng)
+	ct := tc.encryptVec(v, 3)
+	neg := tc.eval.NegNew(ct)
+	got := tc.decryptVec(neg)
+	for i := range v {
+		if math.Abs(got[i]+v[i]) > 1e-4 {
+			t.Fatalf("slot %d: -(%g) = %g", i, v[i], got[i])
+		}
+	}
+	// ct + (-ct) ≈ 0.
+	zero := tc.decryptVec(tc.eval.AddNew(ct, neg))
+	for i := 0; i < 16; i++ {
+		if math.Abs(zero[i]) > 1e-4 {
+			t.Fatalf("ct + (-ct) slot %d = %g", i, zero[i])
+		}
+	}
+}
+
+func TestAddConstNew(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(91))
+	v := randVec(tc.params.Slots(), 5, rng)
+	ct := tc.encryptVec(v, 3)
+	for _, c := range []float64{0, 1.5, -2.75, 100} {
+		out := tc.eval.AddConstNew(ct, c)
+		if out.Level() != ct.Level() {
+			t.Fatal("AddConst changed the level")
+		}
+		got := tc.decryptVec(out)
+		for i := 0; i < 32; i++ {
+			if math.Abs(got[i]-(v[i]+c)) > 1e-4 {
+				t.Fatalf("c=%g slot %d: got %g want %g", c, i, got[i], v[i]+c)
+			}
+		}
+	}
+}
+
+func TestMulByConstNew(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(92))
+	v := randVec(tc.params.Slots(), 3, rng)
+	ct := tc.encryptVec(v, 4)
+	for _, c := range []float64{2, -0.5, 3.14159} {
+		out := tc.eval.RescaleNew(tc.eval.MulByConstNew(ct, c))
+		if out.Level() != 3 {
+			t.Fatal("level bookkeeping wrong")
+		}
+		got := tc.decryptVec(out)
+		for i := 0; i < 32; i++ {
+			if math.Abs(got[i]-v[i]*c) > 1e-3 {
+				t.Fatalf("c=%g slot %d: got %g want %g", c, i, got[i], v[i]*c)
+			}
+		}
+	}
+}
+
+func TestSubPlainNew(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(93))
+	v := randVec(16, 5, rng)
+	w := randVec(16, 5, rng)
+	ct := tc.encryptVec(v, 3)
+	pw := tc.enc.Encode(w, 3, tc.params.Scale)
+	got := tc.decryptVec(tc.eval.SubPlainNew(ct, pw))
+	for i := range v {
+		if math.Abs(got[i]-(v[i]-w[i])) > 1e-4 {
+			t.Fatalf("slot %d: got %g want %g", i, got[i], v[i]-w[i])
+		}
+	}
+}
+
+// TestPolynomialEvaluation composes the scalar ops: evaluate
+// p(x) = 0.5x² − x + 2 homomorphically (one CCmult plus scalar folds) and
+// compare against cleartext — the pattern HE activations beyond square use.
+func TestPolynomialEvaluation(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(94))
+	v := randVec(tc.params.Slots(), 1.5, rng)
+	ct := tc.encryptVec(v, tc.params.L)
+
+	// Scale discipline: both addends must pass through the same rescale
+	// chain (divide by the same primes) or their scales drift apart —
+	// so −x rides a parallel ×(−1) pipeline at the same levels as 0.5x².
+	x2 := tc.eval.RescaleNew(tc.eval.MulNew(ct, ct))           // x², level L−1
+	half := tc.eval.RescaleNew(tc.eval.MulByConstNew(x2, 0.5)) // 0.5x², level L−2
+	negx := tc.eval.RescaleNew(tc.eval.MulByConstNew(ct, -1))  // −x, level L−1
+	negx = tc.eval.RescaleNew(tc.eval.MulByConstNew(negx, 1))  // −x, level L−2
+	sum := tc.eval.AddNew(half, negx)
+	out := tc.eval.AddConstNew(sum, 2) // +2
+
+	got := tc.decryptVec(out)
+	for i := 0; i < 64; i++ {
+		want := 0.5*v[i]*v[i] - v[i] + 2
+		if math.Abs(got[i]-want) > 1e-2 {
+			t.Fatalf("slot %d: p(x) = %g want %g", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fxhenn/internal/ring"
+)
+
+// Binary serialization of CKKS elements and key material, used by the
+// MLaaS protocol (client encrypts and ships ciphertexts; the server holds
+// evaluation keys) and by anyone persisting encrypted state. Format: a
+// one-byte kind tag, fixed little-endian headers, then raw RNS rows.
+
+const (
+	tagCiphertext byte = 0xC1
+	tagPlaintext  byte = 0xC2
+	tagPublicKey  byte = 0xC3
+	tagSwitchKey  byte = 0xC4
+)
+
+// maxSerializedParts bounds ciphertext degree on the wire.
+const maxSerializedParts = 8
+
+// WriteTo serializes the ciphertext.
+func (ct *Ciphertext) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := [10]byte{tagCiphertext}
+	hdr[1] = byte(len(ct.Value))
+	binary.LittleEndian.PutUint64(hdr[2:], math.Float64bits(ct.Scale))
+	m, err := w.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, p := range ct.Value {
+		mm, err := p.WriteTo(w)
+		n += mm
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadCiphertext deserializes a ciphertext under the given parameters.
+func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
+	hdr := [10]byte{}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != tagCiphertext {
+		return nil, fmt.Errorf("ckks: bad ciphertext tag 0x%02x", hdr[0])
+	}
+	parts := int(hdr[1])
+	if parts < 1 || parts > maxSerializedParts {
+		return nil, fmt.Errorf("ckks: implausible ciphertext degree %d", parts)
+	}
+	ct := &Ciphertext{Scale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[2:]))}
+	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
+		return nil, fmt.Errorf("ckks: implausible ciphertext scale %g", ct.Scale)
+	}
+	for i := 0; i < parts; i++ {
+		p, err := ring.ReadPoly(r, params.L, params.N())
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Coeffs[0]) != params.N() {
+			return nil, fmt.Errorf("ckks: degree mismatch %d != %d", len(p.Coeffs[0]), params.N())
+		}
+		ct.Value = append(ct.Value, p)
+	}
+	for _, p := range ct.Value[1:] {
+		if p.K() != ct.Value[0].K() {
+			return nil, fmt.Errorf("ckks: inconsistent ciphertext levels")
+		}
+	}
+	return ct, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SerializedSize returns the exact wire size of the ciphertext.
+func (ct *Ciphertext) SerializedSize() int {
+	n := 10
+	for _, p := range ct.Value {
+		n += p.SerializedSize()
+	}
+	return n
+}
+
+// WriteTo serializes the plaintext (scale, NTT flag, poly).
+func (pt *Plaintext) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := [11]byte{tagPlaintext}
+	binary.LittleEndian.PutUint64(hdr[1:], math.Float64bits(pt.Scale))
+	if pt.IsNTT {
+		hdr[9] = 1
+	}
+	m, err := w.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	mm, err := pt.Value.WriteTo(w)
+	return n + mm, err
+}
+
+// ReadPlaintext deserializes a plaintext.
+func ReadPlaintext(r io.Reader, params Parameters) (*Plaintext, error) {
+	hdr := [11]byte{}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != tagPlaintext {
+		return nil, fmt.Errorf("ckks: bad plaintext tag 0x%02x", hdr[0])
+	}
+	pt := &Plaintext{
+		Scale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[1:])),
+		IsNTT: hdr[9] == 1,
+	}
+	var err error
+	pt.Value, err = ring.ReadPoly(r, params.L, params.N())
+	return pt, err
+}
+
+// WriteTo serializes the public key.
+func (pk *PublicKey) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	m, err := w.Write([]byte{tagPublicKey})
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, p := range []*ring.Poly{pk.B, pk.A} {
+		mm, err := p.WriteTo(w)
+		n += mm
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadPublicKey deserializes a public key.
+func ReadPublicKey(r io.Reader, params Parameters) (*PublicKey, error) {
+	tag := [1]byte{}
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, err
+	}
+	if tag[0] != tagPublicKey {
+		return nil, fmt.Errorf("ckks: bad public key tag 0x%02x", tag[0])
+	}
+	b, err := ring.ReadPoly(r, params.L, params.N())
+	if err != nil {
+		return nil, err
+	}
+	a, err := ring.ReadPoly(r, params.L, params.N())
+	if err != nil {
+		return nil, err
+	}
+	return &PublicKey{B: b, A: a}, nil
+}
+
+// WriteTo serializes a switching key (all digits; the paper's "large data
+// volume" keyswitch keys).
+func (swk *SwitchingKey) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	hdr := [3]byte{tagSwitchKey, byte(len(swk.B)), 0}
+	m, err := w.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for i := range swk.B {
+		for _, p := range []*ring.Poly{swk.B[i], swk.A[i]} {
+			mm, err := p.WriteTo(w)
+			n += mm
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// ReadSwitchingKey deserializes a switching key.
+func ReadSwitchingKey(r io.Reader, params Parameters) (*SwitchingKey, error) {
+	hdr := [3]byte{}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != tagSwitchKey {
+		return nil, fmt.Errorf("ckks: bad switching key tag 0x%02x", hdr[0])
+	}
+	digits := int(hdr[1])
+	if digits < 1 || digits > params.L {
+		return nil, fmt.Errorf("ckks: implausible digit count %d", digits)
+	}
+	swk := &SwitchingKey{}
+	full := params.L + 1
+	for i := 0; i < digits; i++ {
+		b, err := ring.ReadPoly(r, full, params.N())
+		if err != nil {
+			return nil, err
+		}
+		a, err := ring.ReadPoly(r, full, params.N())
+		if err != nil {
+			return nil, err
+		}
+		swk.B = append(swk.B, b)
+		swk.A = append(swk.A, a)
+	}
+	return swk, nil
+}

@@ -1,0 +1,187 @@
+package ckks
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(50))
+	v := randVec(tc.params.Slots(), 5, rng)
+	ct := tc.encryptVec(v, 3)
+
+	var buf bytes.Buffer
+	n, err := ct.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != ct.SerializedSize() || buf.Len() != ct.SerializedSize() {
+		t.Fatalf("size mismatch: wrote %d, SerializedSize %d, buf %d", n, ct.SerializedSize(), buf.Len())
+	}
+	got, err := ReadCiphertext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level() != ct.Level() || got.Degree() != ct.Degree() || got.Scale != ct.Scale {
+		t.Fatal("metadata mismatch after roundtrip")
+	}
+	// The deserialized ciphertext must decrypt identically.
+	requireClose(t, tc.enc.Decode(tc.decr.Decrypt(got))[:16], v[:16], 1e-4, "roundtrip decrypt")
+}
+
+func TestCiphertextSerializationSurvivesOps(t *testing.T) {
+	tc := newTestContext(t, []int{1})
+	rng := rand.New(rand.NewSource(51))
+	v := randVec(tc.params.Slots(), 2, rng)
+	ct := tc.encryptVec(v, 4)
+
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCiphertext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := tc.eval.RotateNew(got, 1)
+	dec := tc.decryptVec(rot)
+	slots := tc.params.Slots()
+	for i := 0; i < 16; i++ {
+		want := v[(i+1)%slots]
+		if diff := dec[i] - want; diff > 1e-2 || diff < -1e-2 {
+			t.Fatalf("slot %d after deserialization+rotate: %g want %g", i, dec[i], want)
+		}
+	}
+}
+
+func TestPlaintextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	rng := rand.New(rand.NewSource(52))
+	v := randVec(tc.params.Slots(), 3, rng)
+	pt := tc.enc.Encode(v, 2, tc.params.Scale)
+
+	var buf bytes.Buffer
+	if _, err := pt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlaintext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != pt.Scale || got.IsNTT != pt.IsNTT {
+		t.Fatal("plaintext metadata mismatch")
+	}
+	requireClose(t, tc.enc.Decode(got)[:16], v[:16], 1e-5, "plaintext roundtrip")
+}
+
+func TestPublicKeySerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, nil)
+	var buf bytes.Buffer
+	if _, err := tc.pk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPublicKey(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encrypting with the deserialized key must decrypt correctly.
+	enc2 := NewEncryptor(tc.params, got, 777)
+	rng := rand.New(rand.NewSource(53))
+	v := randVec(tc.params.Slots(), 2, rng)
+	ct := enc2.Encrypt(tc.enc.Encode(v, 3, tc.params.Scale))
+	requireClose(t, tc.decryptVec(ct)[:16], v[:16], 1e-4, "pk roundtrip encrypt")
+}
+
+func TestSwitchingKeySerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, []int{2})
+	g := tc.params.GaloisElementForRotation(2)
+	swk := tc.rtk.Keys[g]
+
+	var buf bytes.Buffer
+	if _, err := swk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSwitchingKey(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build an evaluator around the deserialized key and rotate with it.
+	rtk2 := &RotationKeys{Keys: map[uint64]*SwitchingKey{g: got}}
+	eval2 := NewEvaluator(tc.params, nil, rtk2)
+	rng := rand.New(rand.NewSource(54))
+	v := randVec(tc.params.Slots(), 2, rng)
+	ct := tc.encryptVec(v, 3)
+	rot := eval2.RotateNew(ct, 2)
+	dec := tc.decryptVec(rot)
+	slots := tc.params.Slots()
+	for i := 0; i < 16; i++ {
+		want := v[(i+2)%slots]
+		if d := dec[i] - want; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("slot %d via deserialized Galois key: %g want %g", i, dec[i], want)
+		}
+	}
+}
+
+func TestDeserializationRejectsGarbage(t *testing.T) {
+	tc := newTestContext(t, nil)
+	// Wrong tag.
+	if _, err := ReadCiphertext(bytes.NewReader(make([]byte, 64)), tc.params); err == nil {
+		t.Fatal("zero bytes accepted as ciphertext")
+	}
+	// Truncated stream.
+	ct := tc.encryptVec(randVec(8, 1, rand.New(rand.NewSource(55))), 2)
+	raw, _ := ct.MarshalBinary()
+	if _, err := ReadCiphertext(bytes.NewReader(raw[:len(raw)/2]), tc.params); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+	// Implausible degree.
+	bad := append([]byte(nil), raw...)
+	bad[1] = 200
+	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
+		t.Fatal("degree-200 ciphertext accepted")
+	}
+	// Implausible scale.
+	bad = append([]byte(nil), raw...)
+	for i := 2; i < 10; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
+		t.Fatal("NaN scale accepted")
+	}
+}
+
+// TestCiphertextSizeMatchesParams verifies the advertised ciphertext sizes
+// (the basis of the paper's storage-overhead statements).
+func TestCiphertextSizeMatchesParams(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encryptVec([]float64{1}, 3)
+	want := tc.params.CiphertextBytes(3) + 10 + 2*8 // payload + header + 2 poly headers
+	if got := ct.SerializedSize(); got != want {
+		t.Fatalf("serialized size %d want %d", got, want)
+	}
+}
+
+// TestKeySizeAccounting: the analytic evaluation-key size matches the
+// actual serialized sizes.
+func TestKeySizeAccounting(t *testing.T) {
+	tc := newTestContext(t, []int{1, 2})
+	var buf bytes.Buffer
+	if _, err := tc.rlk.SwitchingKey.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != tc.rlk.SwitchingKey.SerializedSize() {
+		t.Fatalf("rlk size %d != advertised %d", buf.Len(), tc.rlk.SwitchingKey.SerializedSize())
+	}
+	total := int64(tc.rlk.SwitchingKey.SerializedSize() + tc.rtk.SerializedSize())
+	want := EvaluationKeyBytes(tc.params, len(tc.rtk.Keys))
+	if total != want {
+		t.Fatalf("evaluation key bytes %d != analytic %d", total, want)
+	}
+	var pkBuf bytes.Buffer
+	tc.pk.WriteTo(&pkBuf) //nolint:errcheck
+	if pkBuf.Len() != tc.pk.SerializedSize() {
+		t.Fatal("pk size mismatch")
+	}
+}

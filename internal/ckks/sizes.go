@@ -1,0 +1,38 @@
+package ckks
+
+// Key and element size accounting. The paper stores the keyswitch keys
+// off-chip because of their "large data volume" (§VI-A); these helpers make
+// that volume concrete for reports and the MLaaS setup cost.
+
+// SerializedSize returns the wire size of the public key.
+func (pk *PublicKey) SerializedSize() int {
+	return 1 + pk.B.SerializedSize() + pk.A.SerializedSize()
+}
+
+// SerializedSize returns the wire size of a switching key: one RLWE pair
+// per digit over the extended basis.
+func (swk *SwitchingKey) SerializedSize() int {
+	n := 3
+	for i := range swk.B {
+		n += swk.B[i].SerializedSize() + swk.A[i].SerializedSize()
+	}
+	return n
+}
+
+// SerializedSize sums the Galois keys.
+func (rk *RotationKeys) SerializedSize() int {
+	n := 0
+	for _, swk := range rk.Keys {
+		n += swk.SerializedSize()
+	}
+	return n
+}
+
+// EvaluationKeyBytes returns the total evaluation-key material a server
+// needs for the given rotation count: the relinearization key plus one
+// Galois key per rotation, each L digits of two (L+1)-row polynomials.
+func EvaluationKeyBytes(params Parameters, rotations int) int64 {
+	perPoly := int64(8 + 8*(params.L+1)*params.N())
+	perKey := int64(3) + 2*perPoly*int64(params.L)
+	return perKey * int64(rotations+1)
+}

@@ -1,0 +1,90 @@
+package ckks
+
+// Op enumerates the HE operations of §II-A. Relinearize and Rotate are
+// distinct here but share the KeySwitch hardware module (OP5) in the
+// accelerator model, matching the paper's "we use KeySwitch to denote a
+// Relinearize or Rotate operation".
+type Op int
+
+const (
+	OpCCadd Op = iota
+	OpPCadd
+	OpPCmult
+	OpCCmult
+	OpRescale
+	OpRelin
+	OpRotate
+	numOps
+)
+
+// String returns the paper's name for the operation.
+func (op Op) String() string {
+	switch op {
+	case OpCCadd:
+		return "CCadd"
+	case OpPCadd:
+		return "PCadd"
+	case OpPCmult:
+		return "PCmult"
+	case OpCCmult:
+		return "CCmult"
+	case OpRescale:
+		return "Rescale"
+	case OpRelin:
+		return "Relinearize"
+	case OpRotate:
+		return "Rotate"
+	default:
+		return "unknown"
+	}
+}
+
+// IsKeySwitch reports whether the operation uses the KeySwitch module.
+func (op Op) IsKeySwitch() bool { return op == OpRelin || op == OpRotate }
+
+// Event is one recorded HE operation with the ciphertext level it ran at
+// (the level determines how many RNS polynomials the hardware module
+// processes, hence its latency).
+type Event struct {
+	Op    Op
+	Level int
+}
+
+// Trace accumulates the HE operations executed by an Evaluator.
+type Trace struct {
+	Events []Event
+}
+
+// Record appends an event.
+func (t *Trace) Record(op Op, level int) {
+	t.Events = append(t.Events, Event{Op: op, Level: level})
+}
+
+// Reset clears the trace.
+func (t *Trace) Reset() { t.Events = t.Events[:0] }
+
+// Count returns the number of events of the given op.
+func (t *Trace) Count(op Op) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the total HOP count.
+func (t *Trace) Total() int { return len(t.Events) }
+
+// KeySwitchCount returns the number of KeySwitch operations (the "KS"
+// column of Table VII).
+func (t *Trace) KeySwitchCount() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Op.IsKeySwitch() {
+			n++
+		}
+	}
+	return n
+}

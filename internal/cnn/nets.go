@@ -1,0 +1,122 @@
+package cnn
+
+// NewMNISTNet builds the FxHENN-MNIST network (the CryptoNets/LoLa geometry
+// of Table VI): Cnv1 (5×5, stride 2, pad 1, 5 maps) → Act1 → Fc1 (845→100)
+// → Act2 → Fc2 (100→10) on 28×28×1 inputs.
+func NewMNISTNet() *Network {
+	conv := NewConv2D("Cnv1", 1, 28, 28, 5, 5, 2, 1)
+	// 5 maps × 13×13 windows = 845 flattened features.
+	return &Network{
+		Name: "FxHENN-MNIST",
+		InC:  1, InH: 28, InW: 28,
+		Layers: []Layer{
+			conv,
+			&Square{LayerName: "Act1"},
+			NewDense("Fc1", 845, 100),
+			&Square{LayerName: "Act2"},
+			NewDense("Fc2", 100, 10),
+		},
+	}
+}
+
+// NewCIFAR10Net builds the FxHENN-CIFAR10 network of Table VI: Cnv1 (5×5×3,
+// stride 2, 20 maps) → Act1 → Cnv2 (5×5×20, stride 2, 50 maps) → Act2 →
+// Fc2 (2450→10) on 32×32×3 inputs. Cnv2 dominates the homomorphic workload
+// (two orders of magnitude more HOPs than MNIST, as Table VI reports).
+func NewCIFAR10Net() *Network {
+	conv1 := NewConv2D("Cnv1", 3, 32, 32, 20, 5, 2, 1)
+	// conv1 out: 20×15×15.
+	conv2 := NewConv2D("Cnv2", 20, 15, 15, 50, 5, 2, 1)
+	// conv2 out: 50×7×7 = 2450.
+	return &Network{
+		Name: "FxHENN-CIFAR10",
+		InC:  3, InH: 32, InW: 32,
+		Layers: []Layer{
+			conv1,
+			&Square{LayerName: "Act1"},
+			conv2,
+			&Square{LayerName: "Act2"},
+			NewDense("Fc2", 2450, 10),
+		},
+	}
+}
+
+// NewMNISTDeepNet builds a deeper MNIST variant — two convolution stages —
+// demonstrating the framework's claim that it generalizes to other HE-CNN
+// models "without loss of generality" (§VII-B). Same multiplication depth 5
+// (five multiplicative layers), so the paper's L=7 parameters still apply.
+func NewMNISTDeepNet() *Network {
+	conv1 := NewConv2D("Cnv1", 1, 28, 28, 5, 5, 2, 1)
+	// conv1 out: 5×13×13 = 845.
+	conv2 := NewConv2D("Cnv2", 5, 13, 13, 10, 5, 2, 1)
+	// conv2 out: 10×6×6 = 360.
+	return &Network{
+		Name: "FxHENN-MNIST-Deep",
+		InC:  1, InH: 28, InW: 28,
+		Layers: []Layer{
+			conv1,
+			&Square{LayerName: "Act1"},
+			conv2,
+			&Square{LayerName: "Act2"},
+			NewDense("Fc1", 360, 10),
+		},
+	}
+}
+
+// NewTinyNet builds a reduced-geometry network with the same layer pattern
+// as FxHENN-MNIST (conv → square → dense → square → dense) that fits the
+// small test parameter sets: 8×8×1 input, 2 maps, ≤128 slots.
+func NewTinyNet() *Network {
+	conv := NewConv2D("Cnv1", 1, 8, 8, 2, 3, 2, 1)
+	// conv out: 2×4×4 = 32 features.
+	return &Network{
+		Name: "Tiny-MNIST",
+		InC:  1, InH: 8, InW: 8,
+		Layers: []Layer{
+			conv,
+			&Square{LayerName: "Act1"},
+			NewDense("Fc1", 32, 12),
+			&Square{LayerName: "Act2"},
+			NewDense("Fc2", 12, 4),
+		},
+	}
+}
+
+// NewTinyConvNet builds a reduced two-conv network with the FxHENN-CIFAR10
+// layer pattern for functional testing of the conv-as-matvec path.
+func NewTinyConvNet() *Network {
+	conv1 := NewConv2D("Cnv1", 2, 8, 8, 3, 3, 2, 1)
+	// conv1 out: 3×4×4 = 48.
+	conv2 := NewConv2D("Cnv2", 3, 4, 4, 4, 3, 2, 1)
+	// conv2 out: 4×2×2 = 16.
+	return &Network{
+		Name: "Tiny-CIFAR",
+		InC:  2, InH: 8, InW: 8,
+		Layers: []Layer{
+			conv1,
+			&Square{LayerName: "Act1"},
+			conv2,
+			&Square{LayerName: "Act2"},
+			NewDense("Fc2", 16, 4),
+		},
+	}
+}
+
+// NewTinyPoolNet builds a reduced CryptoNets-style network with an average
+// pooling stage (conv → square → pool → square → dense), exercising the
+// pooling lowering in the HE compiler.
+func NewTinyPoolNet() *Network {
+	conv := NewConv2D("Cnv1", 1, 8, 8, 2, 3, 2, 1)
+	// conv out: 2×4×4 = 32; pool out: 2×2×2 = 8.
+	return &Network{
+		Name: "Tiny-Pool",
+		InC:  1, InH: 8, InW: 8,
+		Layers: []Layer{
+			conv,
+			&Square{LayerName: "Act1"},
+			&AvgPool2D{LayerName: "Pool1", Window: 2},
+			&Square{LayerName: "Act2"},
+			NewDense("Fc1", 8, 4),
+		},
+	}
+}

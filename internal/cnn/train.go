@@ -1,0 +1,261 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Training substrate: plain SGD backpropagation for the HE-friendly layer
+// set (conv, dense, square, average pool). The paper quotes LoLa's trained
+// accuracies; this reproduction cannot obtain those models, but it can
+// train its own networks on synthetic tasks and then show that encrypted
+// inference preserves the trained accuracy — a stronger statement than
+// agreement on random weights.
+
+// Trainable is implemented by layers that support backpropagation.
+type Trainable interface {
+	Layer
+	// Backward consumes the layer's input from the forward pass and the
+	// loss gradient w.r.t. its output, accumulates parameter gradients,
+	// and returns the gradient w.r.t. its input.
+	Backward(in *Tensor, gradOut *Tensor) *Tensor
+	// Step applies and clears the accumulated gradients.
+	Step(lr float64)
+}
+
+// Backward implements Trainable for Conv2D.
+func (c *Conv2D) Backward(in *Tensor, gradOut *Tensor) *Tensor {
+	c.ensureGrads()
+	gradIn := NewTensor(in.C, in.H, in.W)
+	oc, oh, ow := c.OutShape(in.C, in.H, in.W)
+	for m := 0; m < oc; m++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				g := gradOut.At(m, y, x)
+				if g == 0 {
+					continue
+				}
+				c.bGrad[m] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.Kernel; ky++ {
+						iy := y*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.Kernel; kx++ {
+							ix := x*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							idx := ((m*c.InC+ic)*c.Kernel+ky)*c.Kernel + kx
+							c.wGrad[idx] += g * in.At(ic, iy, ix)
+							gradIn.Set(ic, iy, ix, gradIn.At(ic, iy, ix)+g*c.Weights[idx])
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+func (c *Conv2D) ensureGrads() {
+	if c.wGrad == nil {
+		c.wGrad = make([]float64, len(c.Weights))
+		c.bGrad = make([]float64, len(c.Bias))
+	}
+}
+
+// Step implements Trainable.
+func (c *Conv2D) Step(lr float64) {
+	c.ensureGrads()
+	for i := range c.Weights {
+		c.Weights[i] -= lr * c.wGrad[i]
+		c.wGrad[i] = 0
+	}
+	for i := range c.Bias {
+		c.Bias[i] -= lr * c.bGrad[i]
+		c.bGrad[i] = 0
+	}
+}
+
+// Backward implements Trainable for Dense.
+func (d *Dense) Backward(in *Tensor, gradOut *Tensor) *Tensor {
+	d.ensureGrads()
+	gradIn := NewTensor(in.C, in.H, in.W)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut.Data[o]
+		if g == 0 {
+			continue
+		}
+		d.bGrad[o] += g
+		for i := 0; i < d.In; i++ {
+			d.wGrad[o*d.In+i] += g * in.Data[i]
+			gradIn.Data[i] += g * d.Weights[o*d.In+i]
+		}
+	}
+	return gradIn
+}
+
+func (d *Dense) ensureGrads() {
+	if d.wGrad == nil {
+		d.wGrad = make([]float64, len(d.Weights))
+		d.bGrad = make([]float64, len(d.Bias))
+	}
+}
+
+// Step implements Trainable.
+func (d *Dense) Step(lr float64) {
+	d.ensureGrads()
+	for i := range d.Weights {
+		d.Weights[i] -= lr * d.wGrad[i]
+		d.wGrad[i] = 0
+	}
+	for i := range d.Bias {
+		d.Bias[i] -= lr * d.bGrad[i]
+		d.bGrad[i] = 0
+	}
+}
+
+// Backward implements Trainable for Square: d(x²)/dx = 2x.
+func (s *Square) Backward(in *Tensor, gradOut *Tensor) *Tensor {
+	gradIn := NewTensor(in.C, in.H, in.W)
+	for i := range in.Data {
+		gradIn.Data[i] = 2 * in.Data[i] * gradOut.Data[i]
+	}
+	return gradIn
+}
+
+// Step implements Trainable (no parameters).
+func (s *Square) Step(float64) {}
+
+// Backward implements Trainable for AvgPool2D: the gradient spreads evenly
+// over each window.
+func (p *AvgPool2D) Backward(in *Tensor, gradOut *Tensor) *Tensor {
+	gradIn := NewTensor(in.C, in.H, in.W)
+	norm := 1.0 / float64(p.Window*p.Window)
+	oc, oh, ow := p.OutShape(in.C, in.H, in.W)
+	for c := 0; c < oc; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				g := gradOut.At(c, y, x) * norm
+				for dy := 0; dy < p.Window; dy++ {
+					for dx := 0; dx < p.Window; dx++ {
+						gradIn.Set(c, y*p.Window+dy, x*p.Window+dx, g)
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Step implements Trainable (no parameters).
+func (p *AvgPool2D) Step(float64) {}
+
+// Sample is one labeled training example.
+type Sample struct {
+	Image *Tensor
+	Label int
+}
+
+// SoftmaxCrossEntropy returns the loss and the gradient w.r.t. the logits.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	exps := make([]float64, len(logits))
+	for i, v := range logits {
+		exps[i] = math.Exp(v - maxv)
+		sum += exps[i]
+	}
+	grad := make([]float64, len(logits))
+	for i := range grad {
+		p := exps[i] / sum
+		grad[i] = p
+	}
+	loss := -math.Log(exps[label] / sum)
+	grad[label] -= 1
+	return loss, grad
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	Epochs       int
+	LearningRate float64
+	Seed         int64
+	// LogitScale divides logits before the softmax; useful because the
+	// HE-friendly square activations produce small logits early on.
+	LogitScale float64
+}
+
+// Train runs plain SGD over the samples and returns the mean loss of the
+// final epoch. Every layer of the network must be Trainable.
+func (n *Network) Train(samples []Sample, cfg TrainConfig) (float64, error) {
+	layers := make([]Trainable, len(n.Layers))
+	for i, l := range n.Layers {
+		tl, ok := l.(Trainable)
+		if !ok {
+			return 0, fmt.Errorf("cnn: layer %q (%T) is not trainable", l.Name(), l)
+		}
+		layers[i] = tl
+	}
+	if cfg.LogitScale == 0 {
+		cfg.LogitScale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(samples))
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			s := samples[idx]
+			// Forward with per-layer input caching.
+			acts := make([]*Tensor, len(layers)+1)
+			acts[0] = s.Image
+			for i, l := range layers {
+				acts[i+1] = l.Forward(acts[i])
+			}
+			logits := make([]float64, len(acts[len(acts)-1].Data))
+			for i, v := range acts[len(acts)-1].Data {
+				logits[i] = v / cfg.LogitScale
+			}
+			loss, grad := SoftmaxCrossEntropy(logits, s.Label)
+			total += loss
+
+			g := &Tensor{C: len(grad), H: 1, W: 1, Data: grad}
+			for i := range g.Data {
+				g.Data[i] /= cfg.LogitScale
+			}
+			for i := len(layers) - 1; i >= 0; i-- {
+				g = layers[i].Backward(acts[i], g)
+			}
+			for _, l := range layers {
+				l.Step(cfg.LearningRate)
+			}
+		}
+		lastLoss = total / float64(len(samples))
+	}
+	return lastLoss, nil
+}
+
+// Accuracy evaluates argmax accuracy over labeled samples.
+func (n *Network) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if Argmax(n.Infer(s.Image)) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,148 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGradient estimates dLoss/dparam by central differences.
+func numericalGradient(f func() float64, param *float64) float64 {
+	const eps = 1e-6
+	orig := *param
+	*param = orig + eps
+	up := f()
+	*param = orig - eps
+	down := f()
+	*param = orig
+	return (up - down) / (2 * eps)
+}
+
+// TestDenseGradientMatchesNumerical: analytic backprop through a dense
+// layer agrees with finite differences.
+func TestDenseGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 6, 3)
+	for i := range d.Weights {
+		d.Weights[i] = rng.NormFloat64()
+	}
+	in := &Tensor{C: 6, H: 1, W: 1, Data: make([]float64, 6)}
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	label := 1
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(d.Forward(in).Data, label)
+		return l
+	}
+	// Analytic gradients.
+	_, grad := SoftmaxCrossEntropy(d.Forward(in).Data, label)
+	gIn := d.Backward(in, &Tensor{C: 3, H: 1, W: 1, Data: grad})
+
+	for _, idx := range []int{0, 5, 9, 17} {
+		want := numericalGradient(loss, &d.Weights[idx])
+		if math.Abs(d.wGrad[idx]-want) > 1e-5 {
+			t.Fatalf("weight %d: analytic %g numeric %g", idx, d.wGrad[idx], want)
+		}
+	}
+	for _, idx := range []int{0, 3} {
+		want := numericalGradient(loss, &in.Data[idx])
+		if math.Abs(gIn.Data[idx]-want) > 1e-5 {
+			t.Fatalf("input %d: analytic %g numeric %g", idx, gIn.Data[idx], want)
+		}
+	}
+}
+
+// TestConvGradientMatchesNumerical: same check for the convolution.
+func TestConvGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D("c", 2, 5, 5, 2, 3, 2, 1)
+	for i := range c.Weights {
+		c.Weights[i] = rng.NormFloat64()
+	}
+	in := NewTensor(2, 5, 5)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	label := 0
+	loss := func() float64 {
+		out := c.Forward(in)
+		l, _ := SoftmaxCrossEntropy(out.Data, label)
+		return l
+	}
+	out := c.Forward(in)
+	_, grad := SoftmaxCrossEntropy(out.Data, label)
+	gIn := c.Backward(in, &Tensor{C: out.C, H: out.H, W: out.W, Data: grad})
+
+	for _, idx := range []int{0, 7, 17, len(c.Weights) - 1} {
+		want := numericalGradient(loss, &c.Weights[idx])
+		if math.Abs(c.wGrad[idx]-want) > 1e-5 {
+			t.Fatalf("weight %d: analytic %g numeric %g", idx, c.wGrad[idx], want)
+		}
+	}
+	want := numericalGradient(loss, &c.Bias[1])
+	if math.Abs(c.bGrad[1]-want) > 1e-5 {
+		t.Fatalf("bias: analytic %g numeric %g", c.bGrad[1], want)
+	}
+	for _, idx := range []int{0, 12, 24} {
+		w := numericalGradient(loss, &in.Data[idx])
+		if math.Abs(gIn.Data[idx]-w) > 1e-5 {
+			t.Fatalf("input %d: analytic %g numeric %g", idx, gIn.Data[idx], w)
+		}
+	}
+}
+
+// TestSquareAndPoolGradients: chained square+pool backprop vs numerical.
+func TestSquareAndPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sq := &Square{LayerName: "sq"}
+	pool := &AvgPool2D{LayerName: "p", Window: 2}
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	label := 2
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(pool.Forward(sq.Forward(in)).Data, label)
+		return l
+	}
+	mid := sq.Forward(in)
+	out := pool.Forward(mid)
+	_, grad := SoftmaxCrossEntropy(out.Data, label)
+	g := pool.Backward(mid, &Tensor{C: out.C, H: out.H, W: out.W, Data: grad})
+	g = sq.Backward(in, g)
+	for _, idx := range []int{0, 5, 15} {
+		want := numericalGradient(loss, &in.Data[idx])
+		if math.Abs(g.Data[idx]-want) > 1e-5 {
+			t.Fatalf("input %d: analytic %g numeric %g", idx, g.Data[idx], want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	// Uniform logits: loss = ln(K), gradient sums to 0.
+	loss, grad := SoftmaxCrossEntropy([]float64{0, 0, 0, 0}, 2)
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform loss %g", loss)
+	}
+	sum := 0.0
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("gradient sum %g", sum)
+	}
+	// Confident correct prediction: small loss.
+	loss, _ = SoftmaxCrossEntropy([]float64{10, 0, 0, 0}, 0)
+	if loss > 0.01 {
+		t.Fatalf("confident loss %g", loss)
+	}
+}
+
+func TestTrainRejectsUntrainable(t *testing.T) {
+	type opaque struct{ Layer }
+	n := &Network{Layers: []Layer{opaque{NewDense("d", 2, 2)}}}
+	if _, err := n.Train(nil, TrainConfig{Epochs: 1}); err == nil {
+		t.Fatal("untrainable layer accepted")
+	}
+}

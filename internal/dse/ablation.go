@@ -1,0 +1,108 @@
+package dse
+
+import (
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// Ablations of the design choices DESIGN.md calls out: each disables one
+// FxHENN mechanism and re-runs the exploration, quantifying what that
+// mechanism buys (reported by the experiments harness and the
+// BenchmarkAblation_* benchmarks).
+
+// AblationResult is one ablated exploration outcome.
+type AblationResult struct {
+	Name    string
+	Seconds float64
+	// SlowdownVsFull is ablated latency / full-FxHENN latency (≥ 1 means
+	// the mechanism helps).
+	SlowdownVsFull float64
+	Feasible       bool
+}
+
+// Ablate runs the full FxHENN exploration plus the four ablations for a
+// workload/device pair.
+func Ablate(p *profile.Network, dev fpga.Device) ([]AblationResult, error) {
+	g := hemodel.GeometryFor(p)
+	full, err := Explore(p, dev)
+	if err != nil {
+		return nil, err
+	}
+	base := full.Best.Seconds
+	out := []AblationResult{{
+		Name: "full FxHENN", Seconds: base, SlowdownVsFull: 1, Feasible: true,
+	}}
+
+	// 1. Coarse-grained pipelining (Fig. 2 left): re-optimize under the
+	// whole-HE-op pipeline model.
+	{
+		best := int64(1<<62 - 1)
+		used := hemodel.UsedOps(p)
+		searchSpace(g, func(c hemodel.Config) {
+			if c.TotalDSP(used) > dev.DSP {
+				return
+			}
+			if cy := c.CoarseNetworkLatencyCycles(p, g); cy < best {
+				best = cy
+			}
+		})
+		sec := hemodel.Seconds(best, dev.ClockHz)
+		out = append(out, AblationResult{
+			Name: "coarse-grained pipeline", Seconds: sec,
+			SlowdownVsFull: sec / base, Feasible: true,
+		})
+	}
+
+	// 2. No inter-layer buffer reuse: the BRAM constraint applies to the
+	// sum of per-layer demands instead of the peak.
+	{
+		var bestSol *Solution
+		searchSpace(g, func(c hemodel.Config) {
+			s := Evaluate(c, p, g, dev)
+			if !s.Feasible {
+				return
+			}
+			agg := c.AggregateBRAM(p, g)
+			capBRAM := dev.EquivalentBRAM(c.TileWords(g))
+			var cycles int64
+			for i := range p.Layers {
+				// Each layer owns a proportional private slice.
+				share := int(int64(capBRAM) * int64(c.LayerBRAM(&p.Layers[i], g)) / int64(agg))
+				cycles += c.LayerLatencyWithBudget(&p.Layers[i], g, share)
+			}
+			if bestSol == nil || cycles < bestSol.Cycles {
+				s.Cycles = cycles
+				s.Seconds = hemodel.Seconds(cycles, dev.ClockHz)
+				bestSol = &s
+			}
+		})
+		out = append(out, AblationResult{
+			Name: "no inter-layer buffer reuse", Seconds: bestSol.Seconds,
+			SlowdownVsFull: bestSol.Seconds / base, Feasible: true,
+		})
+	}
+
+	// 3. No module reuse and intuitive allocation: the §VII-C baseline.
+	{
+		bl := Baseline(p, dev)
+		sec := bl.Seconds(dev)
+		out = append(out, AblationResult{
+			Name: "no module reuse (baseline)", Seconds: sec,
+			SlowdownVsFull: sec / base, Feasible: true,
+		})
+	}
+
+	// 4. No DRAM spill: buffer demand becomes a hard constraint.
+	{
+		res := ExploreBRAMBudget(p, dev, dev.EquivalentBRAM(hemodel.DefaultConfig().TileWords(g)))
+		ar := AblationResult{Name: "no DRAM spill (hard BRAM)"}
+		if res.Best != nil {
+			ar.Seconds = res.Best.Seconds
+			ar.SlowdownVsFull = res.Best.Seconds / base
+			ar.Feasible = true
+		}
+		out = append(out, ar)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package dse
+
+import (
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// LayerAlloc is one layer's dedicated provisioning in the baseline design.
+type LayerAlloc struct {
+	Layer      string
+	Config     hemodel.Config
+	DSP        int
+	BRAMBudget int   // blocks granted to this layer
+	BRAMDemand int   // blocks the chosen config wants
+	Cycles     int64 // includes off-chip spill if the budget is short
+}
+
+// BaselineResult is the §VII-C "baseline" accelerator: no computation or
+// storage reuse across layers — every layer owns private module instances
+// and private buffers, with the device's resources split intuitively in
+// proportion to each layer's workload.
+type BaselineResult struct {
+	PerLayer []LayerAlloc
+	Cycles   int64
+	DSP      int // sum of per-layer module sets (physical = aggregate)
+	BRAM     int // sum of per-layer buffer grants
+}
+
+// Seconds converts total latency at the device clock.
+func (b *BaselineResult) Seconds(dev fpga.Device) float64 {
+	return hemodel.Seconds(b.Cycles, dev.ClockHz)
+}
+
+// layerWeight is the pipeline-slot workload used for proportional shares.
+func layerWeight(l *profile.Layer) int64 {
+	var w int64
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		n := int64(l.Ops[op])
+		if op == profile.KeySwitch {
+			n *= int64(l.Level)
+		}
+		w += n
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Baseline builds the no-reuse design: each layer independently picks the
+// fastest configuration that fits its DSP share, paying DRAM spill whenever
+// its buffer demand exceeds its BRAM share.
+func Baseline(p *profile.Network, dev fpga.Device) *BaselineResult {
+	g := hemodel.GeometryFor(p)
+	var totalW int64
+	for i := range p.Layers {
+		totalW += layerWeight(&p.Layers[i])
+	}
+
+	// Every layer needs at least its minimal module set; the remaining DSP
+	// is split in proportion to workload so the heavy layers get more (the
+	// paper's "intuitive resource allocation").
+	minDSP := make([]int, len(p.Layers))
+	sumMin := 0
+	for i := range p.Layers {
+		minDSP[i] = layerDSPFor(hemodel.DefaultConfig(), &p.Layers[i])
+		sumMin += minDSP[i]
+	}
+	spareDSP := dev.DSP - sumMin
+	if spareDSP < 0 {
+		spareDSP = 0
+	}
+
+	res := &BaselineResult{}
+	for i := range p.Layers {
+		layer := &p.Layers[i]
+		w := layerWeight(layer)
+		dspShare := minDSP[i] + int(int64(spareDSP)*w/totalW)
+		bramShare := int(int64(dev.BRAM36K) * w / totalW)
+
+		best := LayerAlloc{Layer: layer.Name, BRAMBudget: bramShare, Cycles: 1<<62 - 1}
+		searchSpace(g, func(c hemodel.Config) {
+			dsp := layerDSPFor(c, layer)
+			if dsp > dspShare {
+				return
+			}
+			cycles := c.LayerLatencyWithBudget(layer, g, bramShare)
+			if cycles < best.Cycles {
+				best.Config = c
+				best.DSP = dsp
+				best.BRAMDemand = c.LayerBRAM(layer, g)
+				best.Cycles = cycles
+			}
+		})
+		// A layer whose share fits nothing still runs the minimal design,
+		// entirely from off-chip memory.
+		if best.DSP == 0 && best.Cycles == 1<<62-1 {
+			c := hemodel.DefaultConfig()
+			best.Config = c
+			best.DSP = layerDSPFor(c, layer)
+			best.BRAMDemand = c.LayerBRAM(layer, g)
+			best.Cycles = c.LayerLatencyWithBudget(layer, g, bramShare)
+		}
+		res.PerLayer = append(res.PerLayer, best)
+		res.Cycles += best.Cycles
+		res.DSP += best.DSP
+		grant := best.BRAMDemand
+		if grant > bramShare {
+			grant = bramShare
+		}
+		res.BRAM += grant
+	}
+	return res
+}
+
+func layerDSPFor(c hemodel.Config, layer *profile.Layer) int {
+	total := 0
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		if layer.Ops[op] == 0 {
+			continue
+		}
+		total += hemodel.OpDSPScaled(op, c.NcNTT, c.Modules[op].Intra, c.Modules[op].Inter)
+	}
+	return total
+}

@@ -1,0 +1,183 @@
+// Package dse implements FxHENN's design space exploration (§VI-B): an
+// exhaustive search over the NTT core count and the intra-/inter-parallelism
+// of every HE operation module, minimizing aggregate HE-CNN latency subject
+// to the target device's DSP and BRAM capacities (Eq. 11). The explored
+// space — a few thousand design points, as the paper reports — is small
+// because heavy modules (Rescale, KeySwitch) take fine-grained parallelism
+// while the cheap elementwise modules only vary their instance counts.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// Solution is one evaluated design point.
+type Solution struct {
+	Config  hemodel.Config
+	Cycles  int64
+	Seconds float64
+	DSP     int
+	BRAM    int // peak buffer demand with inter-layer reuse
+	// BRAMOnChip is the demand actually served on chip (≤ capacity);
+	// the remainder spills to DRAM.
+	BRAMOnChip int
+	// Feasible means the hard DSP constraint holds.
+	Feasible bool
+	// FitsOnChip means the buffer demand fits without DRAM spill.
+	FitsOnChip bool
+}
+
+// DSPPct returns DSP utilization against the device.
+func (s *Solution) DSPPct(dev fpga.Device) float64 {
+	return float64(s.DSP) / float64(dev.DSP) * 100
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	Best     *Solution
+	Explored int
+	Feasible int
+	// All contains every explored point (used by the Fig. 9 scatter).
+	All []Solution
+}
+
+// searchSpace enumerates the candidate configurations for a geometry:
+// nc ∈ {2,4,8}; Rescale and KeySwitch sweep intra ∈ [1,L] and inter ∈ [1,3];
+// elementwise modules sweep only inter ∈ {1,2} (their stage time is never
+// the bottleneck, so intra stays 1 — matching Fig. 10, where CCmult keeps
+// parallelism 1 "for high resource efficiency").
+func searchSpace(g hemodel.Geometry, yield func(hemodel.Config)) int {
+	count := 0
+	for _, nc := range []int{2, 4, 8} {
+		for rIntra := 1; rIntra <= g.L; rIntra++ {
+			for rInter := 1; rInter <= 3; rInter++ {
+				for kIntra := 1; kIntra <= g.L; kIntra++ {
+					for kInter := 1; kInter <= 3; kInter++ {
+						for _, eInter := range []int{1, 2} {
+							c := hemodel.DefaultConfig()
+							c.NcNTT = nc
+							c.Modules[profile.Rescale] = hemodel.ModuleConfig{Intra: rIntra, Inter: rInter}
+							c.Modules[profile.KeySwitch] = hemodel.ModuleConfig{Intra: kIntra, Inter: kInter}
+							c.Modules[profile.CCadd] = hemodel.ModuleConfig{Intra: 1, Inter: eInter}
+							c.Modules[profile.PCmult] = hemodel.ModuleConfig{Intra: 1, Inter: eInter}
+							c.Modules[profile.CCmult] = hemodel.ModuleConfig{Intra: 1, Inter: 1}
+							yield(c)
+							count++
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Evaluate scores one configuration against a device. The DSP capacity is a
+// hard constraint; BRAM is soft — a design whose buffers exceed the on-chip
+// capacity spills the overflow to DRAM and pays the §III off-chip latency
+// penalty (how FxHENN-CIFAR10 still runs on the ACU9EG, only ~5× slower
+// than on the ACU15EG in Table VII).
+func Evaluate(c hemodel.Config, p *profile.Network, g hemodel.Geometry, dev fpga.Device) Solution {
+	return evaluateBudget(c, p, g, dev, dev.EquivalentBRAM(c.TileWords(g)))
+}
+
+func evaluateBudget(c hemodel.Config, p *profile.Network, g hemodel.Geometry, dev fpga.Device, capBRAM int) Solution {
+	used := hemodel.UsedOps(p)
+	dsp := c.TotalDSP(used)
+	bram := c.NetworkBRAM(p, g)
+	var cycles int64
+	for i := range p.Layers {
+		cycles += c.LayerLatencyWithBudget(&p.Layers[i], g, capBRAM)
+	}
+	onchip := bram
+	if onchip > capBRAM {
+		onchip = capBRAM
+	}
+	return Solution{
+		Config:     c,
+		Cycles:     cycles,
+		Seconds:    hemodel.Seconds(cycles, dev.ClockHz),
+		DSP:        dsp,
+		BRAM:       bram,
+		BRAMOnChip: onchip,
+		Feasible:   dsp <= dev.DSP,
+		FitsOnChip: bram <= capBRAM,
+	}
+}
+
+// Explore runs the exhaustive search for a workload on a device and returns
+// the minimum-latency feasible design (Eq. 11).
+func Explore(p *profile.Network, dev fpga.Device) (*Result, error) {
+	g := hemodel.GeometryFor(p)
+	res := &Result{}
+	searchSpace(g, func(c hemodel.Config) {
+		s := Evaluate(c, p, g, dev)
+		res.All = append(res.All, s)
+		res.Explored++
+		if !s.Feasible {
+			return
+		}
+		res.Feasible++
+		if res.Best == nil || s.Cycles < res.Best.Cycles ||
+			(s.Cycles == res.Best.Cycles && s.BRAM < res.Best.BRAM) {
+			best := s
+			res.Best = &best
+		}
+	})
+	if res.Best == nil {
+		return res, fmt.Errorf("dse: no feasible design for %s on %s", p.Name, dev.Name)
+	}
+	return res, nil
+}
+
+// ExploreBRAMBudget runs the search with an explicit BRAM block budget
+// (ignoring URAM), as in Fig. 9's sweep over 350–1500 blocks. The DSP
+// constraint uses the given device.
+func ExploreBRAMBudget(p *profile.Network, dev fpga.Device, bramBudget int) *Result {
+	g := hemodel.GeometryFor(p)
+	res := &Result{}
+	searchSpace(g, func(c hemodel.Config) {
+		s := evaluateBudget(c, p, g, dev, bramBudget)
+		s.Feasible = s.Feasible && s.FitsOnChip
+		res.All = append(res.All, s)
+		res.Explored++
+		if !s.Feasible {
+			return
+		}
+		res.Feasible++
+		if res.Best == nil || s.Cycles < res.Best.Cycles {
+			best := s
+			res.Best = &best
+		}
+	})
+	return res
+}
+
+// ParetoFrontier extracts the non-dominated (BRAM, latency) points from a
+// solution set: no other solution has both fewer blocks and lower latency.
+func ParetoFrontier(all []Solution) []Solution {
+	feasibleDSP := make([]Solution, 0, len(all))
+	for _, s := range all {
+		feasibleDSP = append(feasibleDSP, s)
+	}
+	sort.Slice(feasibleDSP, func(i, j int) bool {
+		if feasibleDSP[i].BRAM != feasibleDSP[j].BRAM {
+			return feasibleDSP[i].BRAM < feasibleDSP[j].BRAM
+		}
+		return feasibleDSP[i].Cycles < feasibleDSP[j].Cycles
+	})
+	var front []Solution
+	bestCycles := int64(1<<62 - 1)
+	for _, s := range feasibleDSP {
+		if s.Cycles < bestCycles {
+			front = append(front, s)
+			bestCycles = s.Cycles
+		}
+	}
+	return front
+}

@@ -1,0 +1,258 @@
+package dse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+func TestExploreMNIST(t *testing.T) {
+	p := profile.PaperMNIST()
+	for _, tc := range []struct {
+		dev      fpga.Device
+		paperSec float64
+	}{
+		{fpga.ACU9EG, 0.24},
+		{fpga.ACU15EG, 0.19},
+	} {
+		res, err := Explore(p, tc.dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := res.Best
+		// The paper reports 0.24 s / 0.19 s (Table VII); the model must land
+		// in the same band (within 2×) and respect the DSP capacity.
+		if b.Seconds > tc.paperSec*2 || b.Seconds < tc.paperSec/4 {
+			t.Fatalf("%s: %.3f s too far from paper's %.2f s", tc.dev.Name, b.Seconds, tc.paperSec)
+		}
+		if b.DSP > tc.dev.DSP {
+			t.Fatalf("%s: DSP %d exceeds %d", tc.dev.Name, b.DSP, tc.dev.DSP)
+		}
+		if res.Explored < 1000 {
+			t.Fatalf("only %d design points — paper says a few thousand", res.Explored)
+		}
+		if !b.Feasible {
+			t.Fatal("best solution infeasible")
+		}
+	}
+	// The larger device must be at least as fast.
+	r9, _ := Explore(p, fpga.ACU9EG)
+	r15, _ := Explore(p, fpga.ACU15EG)
+	if r15.Best.Cycles > r9.Best.Cycles {
+		t.Fatal("ACU15EG slower than ACU9EG on MNIST")
+	}
+}
+
+func TestExploreCIFAR10(t *testing.T) {
+	p := profile.PaperCIFAR10()
+	r9, err := Explore(p, fpga.ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r15, err := Explore(p, fpga.ACU15EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 254 s on ACU9EG, 54.1 s on ACU15EG. Our buffer model cannot
+	// afford the paper's KeySwitch intra-parallelism at N=2^14 (see
+	// EXPERIMENTS.md), so we assert the preserved shape: both in the
+	// minutes regime, ACU15EG no slower, and two orders of magnitude above
+	// MNIST.
+	if r9.Best.Seconds < 50 || r9.Best.Seconds > 600 {
+		t.Fatalf("ACU9EG CIFAR %.0f s outside the paper's regime", r9.Best.Seconds)
+	}
+	if r15.Best.Cycles > r9.Best.Cycles {
+		t.Fatal("ACU15EG slower than ACU9EG on CIFAR10")
+	}
+	mn, _ := Explore(profile.PaperMNIST(), fpga.ACU9EG)
+	if ratio := r9.Best.Seconds / mn.Best.Seconds; ratio < 100 {
+		t.Fatalf("CIFAR/MNIST latency ratio %.0f — want ≥100× (Table VI workload gap)", ratio)
+	}
+}
+
+// TestSolutionsRespectConstraints: every feasible solution satisfies the
+// Eq. 11 constraints (property over the whole explored space).
+func TestSolutionsRespectConstraints(t *testing.T) {
+	p := profile.PaperMNIST()
+	dev := fpga.ACU9EG
+	res, err := Explore(p, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.All {
+		if s.Feasible && s.DSP > dev.DSP {
+			t.Fatalf("feasible solution exceeds DSP: %+v", s)
+		}
+		if s.BRAMOnChip > dev.EquivalentBRAM(s.Config.TileWords(hemodel.GeometryFor(p))) {
+			t.Fatal("on-chip BRAM exceeds capacity")
+		}
+		if s.Cycles <= 0 {
+			t.Fatal("non-positive latency")
+		}
+	}
+}
+
+// TestBestIsMinimal: no feasible explored point beats the reported best.
+func TestBestIsMinimal(t *testing.T) {
+	res, err := Explore(profile.PaperMNIST(), fpga.ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.All {
+		if s.Feasible && s.Cycles < res.Best.Cycles {
+			t.Fatalf("found better solution than best: %d < %d", s.Cycles, res.Best.Cycles)
+		}
+	}
+}
+
+// TestBudgetMonotonic: loosening the BRAM budget never worsens the optimum
+// (the Fig. 9 frontier is non-increasing).
+func TestBudgetMonotonic(t *testing.T) {
+	p := profile.PaperMNIST()
+	prev := int64(1<<62 - 1)
+	for _, budget := range []int{350, 500, 700, 900, 1100, 1300, 1500} {
+		res := ExploreBRAMBudget(p, fpga.ACU9EG, budget)
+		if res.Best == nil {
+			continue
+		}
+		if res.Best.Cycles > prev {
+			t.Fatalf("budget %d worsened the optimum", budget)
+		}
+		prev = res.Best.Cycles
+	}
+	if prev == 1<<62-1 {
+		t.Fatal("no budget produced a solution")
+	}
+}
+
+// TestFewSolutionsAtTightBudget reproduces the Fig. 9 observation: low BRAM
+// budgets admit only a few design points, larger budgets many.
+func TestFewSolutionsAtTightBudget(t *testing.T) {
+	p := profile.PaperMNIST()
+	tight := ExploreBRAMBudget(p, fpga.ACU9EG, 350)
+	loose := ExploreBRAMBudget(p, fpga.ACU9EG, 1500)
+	if tight.Feasible >= loose.Feasible {
+		t.Fatalf("tight budget admits %d ≥ loose %d", tight.Feasible, loose.Feasible)
+	}
+}
+
+// TestParetoFrontierProperty: the frontier is strictly improving in latency
+// as BRAM grows, and no solution dominates a frontier point.
+func TestParetoFrontierProperty(t *testing.T) {
+	res, err := Explore(profile.PaperMNIST(), fpga.ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFrontier(res.All)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].BRAM <= front[i-1].BRAM || front[i].Cycles >= front[i-1].Cycles {
+			t.Fatal("frontier not strictly improving")
+		}
+	}
+	for _, s := range res.All {
+		for _, f := range front {
+			if s.BRAM < f.BRAM && s.Cycles < f.Cycles {
+				t.Fatalf("solution (%d, %d) dominates frontier point (%d, %d)",
+					s.BRAM, s.Cycles, f.BRAM, f.Cycles)
+			}
+		}
+	}
+}
+
+// TestBaselineVsFxHENN reproduces the Table IX claim: the no-reuse baseline
+// is several times slower than the DSE-optimized design, and its aggregate
+// resource usage equals its physical usage while FxHENN's aggregate exceeds
+// 100% of the device (reuse).
+func TestBaselineVsFxHENN(t *testing.T) {
+	p := profile.PaperMNIST()
+	dev := fpga.ACU9EG
+	bl := Baseline(p, dev)
+	opt, err := Explore(p, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(bl.Cycles) / float64(opt.Best.Cycles)
+	// Paper: 1.17 s vs 0.24 s ≈ 4.9×.
+	if speedup < 2 || speedup > 30 {
+		t.Fatalf("baseline/FxHENN speedup %.1f× outside plausible band (paper: 4.9×)", speedup)
+	}
+	// FxHENN's aggregated per-layer DSP usage exceeds its physical DSP
+	// (module reuse), like Table IX's 136% vs 63%.
+	g := hemodel.GeometryFor(p)
+	var aggDSP int
+	for i := range p.Layers {
+		aggDSP += opt.Best.Config.LayerDSP(&p.Layers[i])
+	}
+	if aggDSP <= opt.Best.DSP {
+		t.Fatal("no DSP reuse visible in aggregate")
+	}
+	if agg := opt.Best.Config.AggregateBRAM(p, g); agg <= opt.Best.BRAM {
+		t.Fatal("no BRAM reuse visible in aggregate")
+	}
+	// Baseline has one allocation per layer and sane totals.
+	if len(bl.PerLayer) != len(p.Layers) {
+		t.Fatal("baseline layer count wrong")
+	}
+	if bl.DSP > dev.DSP*2 {
+		t.Fatalf("baseline DSP %d wildly over budget", bl.DSP)
+	}
+}
+
+// TestBaselineDeterministic: same inputs, same result.
+func TestBaselineDeterministic(t *testing.T) {
+	a := Baseline(profile.PaperMNIST(), fpga.ACU9EG)
+	b := Baseline(profile.PaperMNIST(), fpga.ACU9EG)
+	if a.Cycles != b.Cycles || a.DSP != b.DSP || a.BRAM != b.BRAM {
+		t.Fatal("baseline not deterministic")
+	}
+}
+
+// TestEvaluateSpillNeverFasterThanFit: adding spill can only slow a config
+// down (quick-check over random configs).
+func TestEvaluateSpillNeverFasterThanFit(t *testing.T) {
+	p := profile.PaperMNIST()
+	g := hemodel.GeometryFor(p)
+	dev := fpga.ACU9EG
+	f := func(ncIdx, ri, ki uint8) bool {
+		c := hemodel.DefaultConfig()
+		c.NcNTT = []int{2, 4, 8}[int(ncIdx)%3]
+		c.Modules[profile.Rescale].Intra = 1 + int(ri)%7
+		c.Modules[profile.KeySwitch].Intra = 1 + int(ki)%7
+		tight := evaluateBudget(c, p, g, dev, 200)
+		loose := evaluateBudget(c, p, g, dev, 1<<20)
+		return tight.Cycles >= loose.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMatchesSequential: the parallel exploration must find exactly
+// the sequential optimum on every workload/device pair.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, p := range []*profile.Network{profile.PaperMNIST(), profile.PaperCIFAR10()} {
+		for _, dev := range []fpga.Device{fpga.ACU9EG, fpga.ACU15EG} {
+			seq, err1 := Explore(p, dev)
+			par, err2 := ExploreParallel(p, dev)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s/%s: error mismatch %v vs %v", p.Name, dev.Name, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if seq.Best.Cycles != par.Best.Cycles || seq.Best.Config != par.Best.Config {
+				t.Fatalf("%s/%s: parallel optimum differs: %d vs %d",
+					p.Name, dev.Name, seq.Best.Cycles, par.Best.Cycles)
+			}
+			if seq.Explored != par.Explored || seq.Feasible != par.Feasible {
+				t.Fatalf("%s/%s: explored/feasible counts differ", p.Name, dev.Name)
+			}
+		}
+	}
+}

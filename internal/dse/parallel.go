@@ -1,0 +1,80 @@
+package dse
+
+import (
+	"runtime"
+	"sync"
+
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hemodel"
+	"fxhenn/internal/profile"
+)
+
+// ExploreParallel is Explore with the design-point evaluations fanned out
+// across a worker pool. The search is embarrassingly parallel (each point
+// is independent), so the result is identical to the sequential search —
+// asserted by TestParallelMatchesSequential — while large sweeps (Fig. 9's
+// budget ladder, multi-network studies) scale with cores.
+func ExploreParallel(p *profile.Network, dev fpga.Device) (*Result, error) {
+	g := hemodel.GeometryFor(p)
+
+	// Materialize the space first: the generator is cheap relative to the
+	// evaluations.
+	var configs []hemodel.Config
+	searchSpace(g, func(c hemodel.Config) { configs = append(configs, c) })
+
+	sols := make([]Solution, len(configs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(configs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(configs) {
+			hi = len(configs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sols[i] = Evaluate(configs[i], p, g, dev)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	res := &Result{All: sols, Explored: len(sols)}
+	for i := range sols {
+		s := &sols[i]
+		if !s.Feasible {
+			continue
+		}
+		res.Feasible++
+		if res.Best == nil || s.Cycles < res.Best.Cycles ||
+			(s.Cycles == res.Best.Cycles && s.BRAM < res.Best.BRAM) {
+			res.Best = s
+		}
+	}
+	if res.Best == nil {
+		return res, errNoFeasible(p, dev)
+	}
+	// Copy so callers cannot alias into the slice.
+	best := *res.Best
+	res.Best = &best
+	return res, nil
+}
+
+func errNoFeasible(p *profile.Network, dev fpga.Device) error {
+	return &noFeasibleError{network: p.Name, device: dev.Name}
+}
+
+type noFeasibleError struct{ network, device string }
+
+func (e *noFeasibleError) Error() string {
+	return "dse: no feasible design for " + e.network + " on " + e.device
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+func getEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv = NewEnv() })
+	return testEnv
+}
+
+// run captures one experiment's rendered output.
+func run(t *testing.T, f func(*Env, *bytes.Buffer)) string {
+	t.Helper()
+	var buf bytes.Buffer
+	f(getEnv(t), &buf)
+	return buf.String()
+}
+
+func TestEnvProfiles(t *testing.T) {
+	e := getEnv(t)
+	if e.MNIST.TotalHOPs() != 826 || e.CIFAR.TotalKS() != 57000 {
+		t.Fatal("paper profiles wrong")
+	}
+	if e.OursMNIST.TotalHOPs() < 800 || e.OursCIFAR.TotalHOPs() < 80000 {
+		t.Fatal("derived profiles implausible")
+	}
+}
+
+// TestEveryExperimentRenders: all thirteen tables/figures (plus ablations)
+// produce non-empty output containing both paper and model columns.
+func TestEveryExperimentRenders(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Env, *bytes.Buffer)
+		want []string
+	}{
+		{"TableI", func(e *Env, b *bytes.Buffer) { e.TableI(b) }, []string{"KeySwitch", "3.170", "DSP% model"}},
+		{"TableII", func(e *Env, b *bytes.Buffer) { e.TableII(b) }, []string{"Cnv1", "Sum", "206.00%"}},
+		{"TableIII", func(e *Env, b *bytes.Buffer) { e.TableIII(b) }, []string{"off-chip", "22.6"}},
+		{"TableIV", func(e *Env, b *bytes.Buffer) { e.TableIV(b) }, []string{"21125", "84500", "blow-up"}},
+		{"TableV", func(e *Env, b *bytes.Buffer) { e.TableV(b) }, []string{"2.07X", "0.062"}},
+		{"TableVI", func(e *Env, b *bytes.Buffer) { e.TableVI(b) }, []string{"FxHENN-CIFAR10", "Mod.Size"}},
+		{"TableVII", func(e *Env, b *bytes.Buffer) { e.TableVII(b) }, []string{"LoLa", "CryptoNets", "FxHENN (repro)", "energy eff"}},
+		{"TableVIII", func(e *Env, b *bytes.Buffer) { e.TableVIII(b) }, []string{"conv2_3", "1.32X"}},
+		{"TableIX", func(e *Env, b *bytes.Buffer) { e.TableIX(b) }, []string{"Baseline (repro)", "agg BRAM"}},
+		{"Fig7", func(e *Env, b *bytes.Buffer) { e.Fig7(b) }, []string{"layer speedup", "Fc1"}},
+		{"Fig8", func(e *Env, b *bytes.Buffer) { e.Fig8(b) }, []string{"KeySwitch", "baseline", "FxHENN"}},
+		{"Fig9", func(e *Env, b *bytes.Buffer) { e.Fig9(b) }, []string{"Pareto frontier", "1500"}},
+		{"Fig10", func(e *Env, b *bytes.Buffer) { e.Fig10(b) }, []string{"nc_NTT", "FxHENN-CIFAR10"}},
+		{"Ablations", func(e *Env, b *bytes.Buffer) { e.Ablations(b) }, []string{"full FxHENN", "coarse-grained"}},
+	}
+	for _, tc := range cases {
+		out := run(t, tc.f)
+		if len(out) < 100 {
+			t.Fatalf("%s: output too short", tc.name)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Fatalf("%s: missing %q in output:\n%s", tc.name, w, out)
+			}
+		}
+	}
+}
+
+// TestTableVII_ReproBeatsEveryPublishedSystem: our modeled FxHENN rows must
+// be the fastest MNIST systems in the table, as in the paper.
+func TestTableVII_ReproBeatsEveryPublishedSystem(t *testing.T) {
+	out := run(t, func(e *Env, b *bytes.Buffer) { e.TableVII(b) })
+	re := regexp.MustCompile(`FxHENN \(repro\)\s+(\S+)`)
+	matches := re.FindAllStringSubmatch(out, -1)
+	if len(matches) != 2 {
+		t.Fatalf("expected 2 repro rows, got %d", len(matches))
+	}
+	for _, m := range matches {
+		if !strings.HasPrefix(m[1], "0.0") && !strings.HasPrefix(m[1], "0.1") && !strings.HasPrefix(m[1], "0.2") {
+			t.Fatalf("repro MNIST latency %s not sub-second", m[1])
+		}
+	}
+}
+
+// TestTableI_ModelWithinTolerance scrapes the rendered Table I and verifies
+// every model latency is within 10% of the paper value.
+func TestTableI_ModelWithinTolerance(t *testing.T) {
+	out := run(t, func(e *Env, b *bytes.Buffer) { e.TableI(b) })
+	lines := strings.Split(out, "\n")
+	checked := 0
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 8 || strings.HasPrefix(line, " ") && strings.Contains(line, "op") {
+			continue
+		}
+		var paper, model float64
+		if _, err := parseFloat(fields[6], &paper); err != nil {
+			continue
+		}
+		if _, err := parseFloat(fields[7], &model); err != nil {
+			continue
+		}
+		if paper == 0 {
+			continue
+		}
+		rel := (model - paper) / paper
+		if rel < -0.10 || rel > 0.10 {
+			t.Fatalf("latency off by %.0f%%: %s", rel*100, line)
+		}
+		checked++
+	}
+	if checked < 9 {
+		t.Fatalf("only %d Table I rows checked", checked)
+	}
+}
+
+func parseFloat(s string, out *float64) (bool, error) {
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return false, err
+	}
+	*out = v
+	return true, nil
+}

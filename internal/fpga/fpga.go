@@ -1,0 +1,84 @@
+// Package fpga describes the target FPGA devices: the resource capacities
+// (DSP slices, BRAM36K blocks, URAM blocks) that act as the design
+// constraints of FxHENN's design space exploration, and the URAM→BRAM
+// capacity conversion of §VI-A.
+package fpga
+
+import "fmt"
+
+// Device is a commercial-off-the-shelf FPGA platform description.
+type Device struct {
+	Name string
+	// DSP is the number of DSP slices.
+	DSP int
+	// BRAM36K is the number of 36Kbit block-RAM blocks.
+	BRAM36K int
+	// URAM is the number of 288Kbit UltraRAM blocks (0 if absent).
+	URAM int
+	// ClockHz is the accelerator clock. 230 MHz calibrates the latency
+	// model to the paper's Table I measurements.
+	ClockHz float64
+	// TDPWatts is the thermal design power used for energy-efficiency
+	// comparisons (Table VII).
+	TDPWatts float64
+}
+
+// ACU9EG is the ALINX ACU9EG board (Zynq UltraScale+ XCZU9EG): the paper's
+// mid-end platform with 2,520 DSP slices and 32.1 Mbit BRAM (912 blocks),
+// no URAM.
+var ACU9EG = Device{
+	Name:     "ACU9EG",
+	DSP:      2520,
+	BRAM36K:  912,
+	URAM:     0,
+	ClockHz:  230e6,
+	TDPWatts: 10,
+}
+
+// ACU15EG is the ALINX ACU15EG board (XCZU15EG): the paper's high-end
+// platform with 3,528 DSP slices, 26.2 Mbit BRAM (744 blocks) and 31.5 Mbit
+// URAM (112 blocks).
+var ACU15EG = Device{
+	Name:     "ACU15EG",
+	DSP:      3528,
+	BRAM36K:  744,
+	URAM:     112,
+	ClockHz:  230e6,
+	TDPWatts: 10,
+}
+
+// Devices lists the evaluation platforms.
+var Devices = []Device{ACU9EG, ACU15EG}
+
+// DeviceByName looks a device up by its name.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range Devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("fpga: unknown device %q", name)
+}
+
+// URAMRatio returns how many BRAM36K blocks one URAM block substitutes for
+// a buffer tile holding num words (§VI-A): URAM has 4K addresses against
+// BRAM's 1K, but the same read/write bandwidth, so heavily partitioned
+// (small) tiles underutilize it.
+func URAMRatio(num int) float64 {
+	switch {
+	case num <= 1024:
+		return 1
+	case num >= 4096:
+		return 4
+	default:
+		return float64(num) / 1024
+	}
+}
+
+// EquivalentBRAM returns the device's total on-chip memory capacity in
+// BRAM36K-block equivalents, given the typical tile size (words per buffer
+// partition) of the design under evaluation. This is how Fig. 9 plots
+// ACU15EG designs on a BRAM-block axis.
+func (d Device) EquivalentBRAM(tileWords int) int {
+	return d.BRAM36K + int(float64(d.URAM)*URAMRatio(tileWords))
+}

@@ -1,0 +1,76 @@
+package fpga
+
+import "testing"
+
+// TestDeviceCapacities pins the paper's §VII-A platform descriptions.
+func TestDeviceCapacities(t *testing.T) {
+	if ACU9EG.DSP != 2520 || ACU9EG.BRAM36K != 912 || ACU9EG.URAM != 0 {
+		t.Fatalf("ACU9EG capacities wrong: %+v", ACU9EG)
+	}
+	// 912 × 36Kbit = 32.1 Mbit, the paper's figure.
+	if mbit := float64(ACU9EG.BRAM36K) * 36 / 1024; mbit < 32 || mbit > 32.2 {
+		t.Fatalf("ACU9EG BRAM %.1f Mbit, want ≈32.1", mbit)
+	}
+	if ACU15EG.DSP != 3528 || ACU15EG.URAM != 112 {
+		t.Fatalf("ACU15EG capacities wrong: %+v", ACU15EG)
+	}
+	// 744 × 36Kbit ≈ 26.2 Mbit and 112 × 288Kbit ≈ 31.5 Mbit.
+	if mbit := float64(ACU15EG.BRAM36K) * 36 / 1024; mbit < 26 || mbit > 26.4 {
+		t.Fatalf("ACU15EG BRAM %.1f Mbit, want ≈26.2", mbit)
+	}
+	if mbit := float64(ACU15EG.URAM) * 288 / 1024; mbit < 31 || mbit > 32 {
+		t.Fatalf("ACU15EG URAM %.1f Mbit, want ≈31.5", mbit)
+	}
+	if ACU9EG.TDPWatts != 10 || ACU15EG.TDPWatts != 10 {
+		t.Fatal("TDP must be 10W (Table VII)")
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	d, err := DeviceByName("ACU15EG")
+	if err != nil || d.DSP != 3528 {
+		t.Fatalf("lookup failed: %v %+v", err, d)
+	}
+	if _, err := DeviceByName("nope"); err == nil {
+		t.Fatal("unknown device did not error")
+	}
+}
+
+// TestURAMRatio checks the §VI-A piecewise conversion.
+func TestURAMRatio(t *testing.T) {
+	cases := map[int]float64{
+		1:    1,
+		1024: 1,
+		2048: 2,
+		3000: 3000.0 / 1024,
+		4096: 4,
+		8192: 4,
+	}
+	for num, want := range cases {
+		if got := URAMRatio(num); got != want {
+			t.Fatalf("URAMRatio(%d)=%g want %g", num, got, want)
+		}
+	}
+}
+
+func TestEquivalentBRAM(t *testing.T) {
+	// Without URAM, capacity is plain BRAM.
+	if ACU9EG.EquivalentBRAM(4096) != 912 {
+		t.Fatal("ACU9EG equivalent BRAM wrong")
+	}
+	// With URAM and large tiles, each URAM counts as 4 BRAMs:
+	// 744 + 112·4 = 1192.
+	if got := ACU15EG.EquivalentBRAM(4096); got != 1192 {
+		t.Fatalf("ACU15EG large-tile equivalent %d want 1192", got)
+	}
+	// Small tiles waste URAM capacity: 744 + 112.
+	if got := ACU15EG.EquivalentBRAM(512); got != 856 {
+		t.Fatalf("ACU15EG small-tile equivalent %d want 856", got)
+	}
+	// The ACU15EG's effective capacity with large tiles exceeds the
+	// ACU9EG's — the reason FxHENN-CIFAR10 gets intra=3 KeySwitch there
+	// (Fig. 10 discussion).
+	if ACU15EG.EquivalentBRAM(4096) <= ACU9EG.EquivalentBRAM(4096) {
+		t.Fatal("ACU15EG must out-buffer ACU9EG at large tiles")
+	}
+}

@@ -1,0 +1,286 @@
+// Package hecnn implements LoLa-style packed HE-CNN inference (§II-B): the
+// translation of convolutional networks into sequences of CKKS HE operations
+// over batched ciphertexts, exactly the workload FxHENN's accelerator runs.
+//
+// Every layer is written once against the Backend interface and can then be
+// (a) executed functionally on real ciphertexts, or (b) dry-run to count HE
+// operations per layer — the per-layer profiles ("HOPs", "KS") that drive
+// the paper's resource models and design space exploration. The paper's
+// point that "to make an accurate evaluation, we must extract the HE
+// operations and data relations at this level" is this package.
+package hecnn
+
+import (
+	"fmt"
+	"sort"
+
+	"fxhenn/internal/ckks"
+)
+
+// CT is an opaque ciphertext handle passed between layers. The crypto
+// backend stores a real ciphertext; the counting backend tracks only the
+// level/scale bookkeeping needed to emit a faithful trace.
+type CT struct {
+	ct    *ckks.Ciphertext // crypto backend only
+	level int
+	scale float64
+	noise *ckks.NoiseEstimate // noise backend only
+}
+
+// Level returns the handle's CKKS level.
+func (c *CT) Level() int { return c.level }
+
+// Plain is a lazily-built plaintext operand: Make produces the slot vector.
+// The counting backend never calls Make, so dry runs over networks with tens
+// of thousands of plaintext operands (FxHENN-CIFAR10) stay cheap.
+type Plain struct {
+	Make func() []float64
+}
+
+// Backend executes or records HE operations.
+type Backend interface {
+	// SetLayer directs subsequent operations' trace events to the named
+	// HE-CNN layer.
+	SetLayer(name string)
+	// PCmult multiplies by a plaintext (no rescale).
+	PCmult(x *CT, w Plain) *CT
+	// PCadd adds a plaintext encoded at x's exact scale.
+	PCadd(x *CT, w Plain) *CT
+	// CCadd adds two ciphertexts.
+	CCadd(x, y *CT) *CT
+	// Square computes x² with relinearization (records CCmult + KeySwitch).
+	Square(x *CT) *CT
+	// Rescale drops one level.
+	Rescale(x *CT) *CT
+	// Rotate rotates slots left by k (k may be negative; k=0 is free).
+	Rotate(x *CT, k int) *CT
+}
+
+// LayerEvents is the recorded HE-operation stream of one HE-CNN layer.
+type LayerEvents struct {
+	Layer  string
+	Events []ckks.Event
+}
+
+// HOPs returns the layer's total HE operation count.
+func (le *LayerEvents) HOPs() int { return len(le.Events) }
+
+// KeySwitches returns the layer's KeySwitch (Relinearize+Rotate) count.
+func (le *LayerEvents) KeySwitches() int {
+	n := 0
+	for _, e := range le.Events {
+		if e.Op.IsKeySwitch() {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of events of op.
+func (le *LayerEvents) Count(op ckks.Op) int {
+	n := 0
+	for _, e := range le.Events {
+		if e.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// Recorder accumulates per-layer traces and the set of rotation amounts the
+// network requires (for Galois key generation).
+type Recorder struct {
+	Layers    []*LayerEvents
+	byName    map[string]*LayerEvents
+	current   *LayerEvents
+	rotations map[int]struct{}
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byName: map[string]*LayerEvents{}, rotations: map[int]struct{}{}}
+}
+
+// SetLayer switches the active layer.
+func (r *Recorder) SetLayer(name string) {
+	if le, ok := r.byName[name]; ok {
+		r.current = le
+		return
+	}
+	le := &LayerEvents{Layer: name}
+	r.byName[name] = le
+	r.Layers = append(r.Layers, le)
+	r.current = le
+}
+
+func (r *Recorder) record(op ckks.Op, level int) {
+	if r.current == nil {
+		r.SetLayer("?")
+	}
+	r.current.Events = append(r.current.Events, ckks.Event{Op: op, Level: level})
+}
+
+func (r *Recorder) recordRotation(k int) {
+	r.rotations[k] = struct{}{}
+}
+
+// Rotations returns the sorted set of rotation amounts used.
+func (r *Recorder) Rotations() []int {
+	out := make([]int, 0, len(r.rotations))
+	for k := range r.rotations {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalHOPs sums all layers' operation counts (the "HOPs" column of
+// Table VI).
+func (r *Recorder) TotalHOPs() int {
+	n := 0
+	for _, l := range r.Layers {
+		n += l.HOPs()
+	}
+	return n
+}
+
+// TotalKeySwitches sums KeySwitch counts (the "KS" column of Table VII).
+func (r *Recorder) TotalKeySwitches() int {
+	n := 0
+	for _, l := range r.Layers {
+		n += l.KeySwitches()
+	}
+	return n
+}
+
+// Layer returns the trace of the named layer, or nil.
+func (r *Recorder) Layer(name string) *LayerEvents { return r.byName[name] }
+
+// countBackend traces operations without touching ciphertexts.
+type countBackend struct {
+	rec   *Recorder
+	scale float64 // nominal scale, tracked loosely
+}
+
+// NewCountBackend returns a Backend that records into rec, starting
+// ciphertexts at the given level.
+func NewCountBackend(rec *Recorder) Backend {
+	return &countBackend{rec: rec}
+}
+
+func (b *countBackend) SetLayer(name string) { b.rec.SetLayer(name) }
+
+func (b *countBackend) PCmult(x *CT, _ Plain) *CT {
+	b.rec.record(ckks.OpPCmult, x.level)
+	return &CT{level: x.level, scale: x.scale}
+}
+
+func (b *countBackend) PCadd(x *CT, _ Plain) *CT {
+	b.rec.record(ckks.OpPCadd, x.level)
+	return &CT{level: x.level, scale: x.scale}
+}
+
+func (b *countBackend) CCadd(x, y *CT) *CT {
+	l := x.level
+	if y.level < l {
+		l = y.level
+	}
+	b.rec.record(ckks.OpCCadd, l)
+	return &CT{level: l, scale: x.scale}
+}
+
+func (b *countBackend) Square(x *CT) *CT {
+	b.rec.record(ckks.OpCCmult, x.level)
+	b.rec.record(ckks.OpRelin, x.level)
+	return &CT{level: x.level, scale: x.scale * x.scale}
+}
+
+func (b *countBackend) Rescale(x *CT) *CT {
+	if x.level < 2 {
+		panic(fmt.Sprintf("hecnn: rescale below level 2 (level %d) — parameter chain too short", x.level))
+	}
+	b.rec.record(ckks.OpRescale, x.level)
+	return &CT{level: x.level - 1, scale: x.scale}
+}
+
+func (b *countBackend) Rotate(x *CT, k int) *CT {
+	if k == 0 {
+		return x
+	}
+	b.rec.record(ckks.OpRotate, x.level)
+	b.rec.recordRotation(k)
+	return &CT{level: x.level, scale: x.scale}
+}
+
+// cryptoBackend executes operations on real ciphertexts while recording the
+// same trace as the counting backend.
+type cryptoBackend struct {
+	ctx *Context
+	rec *Recorder
+}
+
+// NewCryptoBackend returns a Backend executing on ctx and tracing into rec
+// (rec may be nil to skip tracing).
+func NewCryptoBackend(ctx *Context, rec *Recorder) Backend {
+	if rec == nil {
+		rec = NewRecorder()
+	}
+	return &cryptoBackend{ctx: ctx, rec: rec}
+}
+
+func (b *cryptoBackend) SetLayer(name string) { b.rec.SetLayer(name) }
+
+func (b *cryptoBackend) PCmult(x *CT, w Plain) *CT {
+	pt := b.ctx.Encoder.Encode(w.Make(), x.ct.Level(), b.ctx.Params.Scale)
+	out := b.ctx.Eval.MulPlainNew(x.ct, pt)
+	b.rec.record(ckks.OpPCmult, x.ct.Level())
+	return wrap(out)
+}
+
+func (b *cryptoBackend) PCadd(x *CT, w Plain) *CT {
+	pt := b.ctx.Encoder.Encode(w.Make(), x.ct.Level(), x.ct.Scale)
+	out := b.ctx.Eval.AddPlainNew(x.ct, pt)
+	b.rec.record(ckks.OpPCadd, x.ct.Level())
+	return wrap(out)
+}
+
+func (b *cryptoBackend) CCadd(x, y *CT) *CT {
+	out := b.ctx.Eval.AddNew(x.ct, y.ct)
+	b.rec.record(ckks.OpCCadd, out.Level())
+	return wrap(out)
+}
+
+func (b *cryptoBackend) Square(x *CT) *CT {
+	out := b.ctx.Eval.MulNew(x.ct, x.ct)
+	b.rec.record(ckks.OpCCmult, x.ct.Level())
+	b.rec.record(ckks.OpRelin, x.ct.Level())
+	return wrap(out)
+}
+
+func (b *cryptoBackend) Rescale(x *CT) *CT {
+	out := b.ctx.Eval.RescaleNew(x.ct)
+	b.rec.record(ckks.OpRescale, x.ct.Level())
+	return wrap(out)
+}
+
+func (b *cryptoBackend) Rotate(x *CT, k int) *CT {
+	if k == 0 {
+		return x
+	}
+	out := b.ctx.Eval.RotateNew(x.ct, k)
+	b.rec.record(ckks.OpRotate, x.ct.Level())
+	b.rec.recordRotation(k)
+	return wrap(out)
+}
+
+func wrap(ct *ckks.Ciphertext) *CT {
+	return &CT{ct: ct, level: ct.Level(), scale: ct.Scale}
+}
+
+// WrapCiphertext adopts a raw CKKS ciphertext (e.g. one deserialized from
+// the network) as a layer input handle.
+func WrapCiphertext(ct *ckks.Ciphertext) *CT { return wrap(ct) }
+
+// Ciphertext returns the underlying CKKS ciphertext of a crypto-backend
+// handle (nil for counting-backend handles).
+func (c *CT) Ciphertext() *ckks.Ciphertext { return c.ct }

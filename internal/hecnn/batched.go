@@ -1,0 +1,197 @@
+package hecnn
+
+import (
+	"fmt"
+
+	"fxhenn/internal/cnn"
+)
+
+// CryptoNets-style batched packing (§II-B): instead of packing one image's
+// pixels into few ciphertexts (LoLa, low latency), pack MANY images into
+// every ciphertext — one ciphertext per tensor position, slot b holding
+// image b's value at that position. Linear layers become scalar
+// plaintext-multiply-accumulates with no rotations at all (the only
+// KeySwitch left is the relinearization inside Square), at the cost of
+// ciphertext count proportional to the tensor size: enormous latency per
+// batch, enormous throughput per image. The paper contrasts exactly this
+// trade (CryptoNets' 205 s vs LoLa's 2.2 s, §VII-B); implementing both
+// packings under one Backend demonstrates the framework's "different data
+// packing schemes" generality claim.
+
+// BatchedNetwork evaluates a CNN under position-major batched packing.
+type BatchedNetwork struct {
+	Name  string
+	Slots int // batch capacity
+	CNN   *cnn.Network
+}
+
+// CompileBatched wraps a plaintext CNN for batched evaluation. Every layer
+// type of the substrate is supported (conv, dense, square, pool).
+func CompileBatched(c *cnn.Network, slots int) *BatchedNetwork {
+	if len(c.Layers) == 0 {
+		panic("hecnn: empty network")
+	}
+	return &BatchedNetwork{Name: c.Name + "-batched", Slots: slots, CNN: c}
+}
+
+// PackBatch transposes a batch of images into position-major slot vectors:
+// out[p][b] = image b's value at flat position p.
+func (n *BatchedNetwork) PackBatch(images []*cnn.Tensor) [][]float64 {
+	if len(images) == 0 || len(images) > n.Slots {
+		panic(fmt.Sprintf("hecnn: batch size %d outside [1,%d]", len(images), n.Slots))
+	}
+	size := images[0].Size()
+	out := make([][]float64, size)
+	for p := 0; p < size; p++ {
+		v := make([]float64, n.Slots)
+		for b, img := range images {
+			v[b] = img.Data[p]
+		}
+		out[p] = v
+	}
+	return out
+}
+
+// broadcast returns a Plain filling every slot with the scalar w.
+func (n *BatchedNetwork) broadcast(w float64) Plain {
+	slots := n.Slots
+	return Plain{Make: func() []float64 {
+		v := make([]float64, slots)
+		for i := range v {
+			v[i] = w
+		}
+		return v
+	}}
+}
+
+// Evaluate runs the batched network over per-position ciphertext handles,
+// returning one handle per logit.
+func (n *BatchedNetwork) Evaluate(b Backend, cts []*CT) []*CT {
+	ch, hh, ww := n.CNN.InC, n.CNN.InH, n.CNN.InW
+	cur := cts
+	for _, l := range n.CNN.Layers {
+		b.SetLayer(l.Name())
+		switch layer := l.(type) {
+		case *cnn.Conv2D:
+			oc, oh, ow := layer.OutShape(ch, hh, ww)
+			next := make([]*CT, oc*oh*ow)
+			for m := 0; m < oc; m++ {
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						var acc *CT
+						for ic := 0; ic < layer.InC; ic++ {
+							for ky := 0; ky < layer.Kernel; ky++ {
+								iy := y*layer.Stride + ky - layer.Pad
+								if iy < 0 || iy >= hh {
+									continue
+								}
+								for kx := 0; kx < layer.Kernel; kx++ {
+									ix := x*layer.Stride + kx - layer.Pad
+									if ix < 0 || ix >= ww {
+										continue
+									}
+									w := layer.Weight(m, ic, ky, kx)
+									t := b.PCmult(cur[(ic*hh+iy)*ww+ix], n.broadcast(w))
+									if acc == nil {
+										acc = t
+									} else {
+										acc = b.CCadd(acc, t)
+									}
+								}
+							}
+						}
+						acc = b.Rescale(acc)
+						acc = b.PCadd(acc, n.broadcast(layer.Bias[m]))
+						next[(m*oh+y)*ow+x] = acc
+					}
+				}
+			}
+			cur, ch, hh, ww = next, oc, oh, ow
+		case *cnn.Dense:
+			next := make([]*CT, layer.Out)
+			for o := 0; o < layer.Out; o++ {
+				var acc *CT
+				for i := 0; i < layer.In; i++ {
+					t := b.PCmult(cur[i], n.broadcast(layer.Weight(o, i)))
+					if acc == nil {
+						acc = t
+					} else {
+						acc = b.CCadd(acc, t)
+					}
+				}
+				acc = b.Rescale(acc)
+				next[o] = b.PCadd(acc, n.broadcast(layer.Bias[o]))
+			}
+			cur, ch, hh, ww = next, layer.Out, 1, 1
+		case *cnn.Square:
+			next := make([]*CT, len(cur))
+			for i, ct := range cur {
+				next[i] = b.Rescale(b.Square(ct))
+			}
+			cur = next
+		case *cnn.AvgPool2D:
+			oc, oh, ow := layer.OutShape(ch, hh, ww)
+			norm := 1.0 / float64(layer.Window*layer.Window)
+			next := make([]*CT, oc*oh*ow)
+			for c := 0; c < oc; c++ {
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						var acc *CT
+						for dy := 0; dy < layer.Window; dy++ {
+							for dx := 0; dx < layer.Window; dx++ {
+								in := cur[(c*hh+y*layer.Window+dy)*ww+x*layer.Window+dx]
+								if acc == nil {
+									acc = in
+								} else {
+									acc = b.CCadd(acc, in)
+								}
+							}
+						}
+						t := b.PCmult(acc, n.broadcast(norm))
+						next[(c*oh+y)*ow+x] = b.Rescale(t)
+					}
+				}
+			}
+			cur, ch, hh, ww = next, oc, oh, ow
+		default:
+			panic(fmt.Sprintf("hecnn: unsupported batched layer %T", l))
+		}
+	}
+	return cur
+}
+
+// RunBatch encrypts a batch, evaluates it, and returns per-image logits:
+// out[b][class]. It also returns the trace.
+func (n *BatchedNetwork) RunBatch(ctx *Context, images []*cnn.Tensor) ([][]float64, *Recorder) {
+	rec := NewRecorder()
+	b := NewCryptoBackend(ctx, rec)
+	var cts []*CT
+	for _, v := range n.PackBatch(images) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	outs := n.Evaluate(b, cts)
+	logits := make([][]float64, len(images))
+	for bi := range images {
+		logits[bi] = make([]float64, len(outs))
+	}
+	for o, ct := range outs {
+		vals := ctx.DecryptVector(ct)
+		for bi := range images {
+			logits[bi][o] = vals[bi]
+		}
+	}
+	return logits, rec
+}
+
+// Count dry-runs the batched evaluation for op counting.
+func (n *BatchedNetwork) Count(startLevel int) *Recorder {
+	rec := NewRecorder()
+	b := NewCountBackend(rec)
+	size := n.CNN.InC * n.CNN.InH * n.CNN.InW
+	cts := make([]*CT, size)
+	for i := range cts {
+		cts[i] = &CT{level: startLevel, scale: 1}
+	}
+	n.Evaluate(b, cts)
+	return rec
+}

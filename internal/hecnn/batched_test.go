@@ -1,0 +1,119 @@
+package hecnn
+
+import (
+	"math"
+	"testing"
+
+	"fxhenn/internal/cnn"
+)
+
+// TestBatchedEncryptedMatchesPlaintext: three images evaluated in one
+// batched pass must each match their plaintext inference.
+func TestBatchedEncryptedMatchesPlaintext(t *testing.T) {
+	params := tinyParams()
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(81)
+	bnet := CompileBatched(pnet, params.Slots())
+
+	// Batched evaluation uses no rotations (only relinearization inside
+	// Square), so no Galois keys are needed at all.
+	rots := bnet.Count(params.MaxLevel()).Rotations()
+	if len(rots) != 0 {
+		t.Fatalf("batched packing requested rotations: %v", rots)
+	}
+	ctx := NewContext(params, 82, nil)
+
+	images := []*cnn.Tensor{
+		randomImage(1, 8, 8, 10),
+		randomImage(1, 8, 8, 11),
+		randomImage(1, 8, 8, 12),
+	}
+	logits, rec := bnet.RunBatch(ctx, images)
+	for bi, img := range images {
+		want := pnet.Infer(img)
+		for i := range want {
+			if math.Abs(logits[bi][i]-want[i]) > 1e-2 {
+				t.Fatalf("image %d logit %d: %g vs %g", bi, i, logits[bi][i], want[i])
+			}
+		}
+		if cnn.Argmax(logits[bi]) != cnn.Argmax(want) {
+			t.Fatalf("image %d argmax mismatch", bi)
+		}
+	}
+	// KeySwitch only from the two Square layers.
+	if rec.TotalKeySwitches() != rec.Layer("Act1").KeySwitches()+rec.Layer("Act2").KeySwitches() {
+		t.Fatal("unexpected KeySwitch sources in batched mode")
+	}
+}
+
+// TestBatchedPoolNet: the pooling path also works batched.
+func TestBatchedPoolNet(t *testing.T) {
+	params := tinyParams()
+	pnet := cnn.NewTinyPoolNet()
+	pnet.InitWeights(83)
+	bnet := CompileBatched(pnet, params.Slots())
+	ctx := NewContext(params, 84, nil)
+
+	images := []*cnn.Tensor{randomImage(1, 8, 8, 20), randomImage(1, 8, 8, 21)}
+	logits, _ := bnet.RunBatch(ctx, images)
+	for bi, img := range images {
+		want := pnet.Infer(img)
+		for i := range want {
+			if math.Abs(logits[bi][i]-want[i]) > 1e-2 {
+				t.Fatalf("image %d logit %d: %g vs %g", bi, i, logits[bi][i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchedMNISTWorkloadMatchesCryptoNets: the batched MNIST op count
+// lands in CryptoNets' published regime (215K HOPs, Table VII) — two to
+// three orders above LoLa's packing, the latency/throughput trade the
+// paper describes.
+func TestBatchedMNISTWorkloadMatchesCryptoNets(t *testing.T) {
+	bnet := CompileBatched(cnn.NewMNISTNet(), 4096)
+	rec := bnet.Count(7)
+	total := rec.TotalHOPs()
+	if total < 100000 || total > 500000 {
+		t.Fatalf("batched MNIST HOPs %d outside CryptoNets' 215K regime", total)
+	}
+	// CryptoNets' Table VII row is HOP=215K, KS=945: the KS count is the
+	// relinearizations of the 845+100 square activations — which our batched
+	// compilation reproduces exactly.
+	if ks := rec.TotalKeySwitches(); ks != 945 {
+		t.Fatalf("batched MNIST KS %d, want exactly 945 (CryptoNets, Table VII)", ks)
+	}
+	lola := Compile(cnn.NewMNISTNet(), 4096).Count(7)
+	if ratio := float64(total) / float64(lola.TotalHOPs()); ratio < 50 {
+		t.Fatalf("batched/LoLa HOP ratio %.0f — expected orders of magnitude", ratio)
+	}
+	// Rotation-free except relinearizations.
+	for _, l := range rec.Layers {
+		if l.Layer == "Act1" || l.Layer == "Act2" {
+			continue
+		}
+		if l.KeySwitches() != 0 {
+			t.Fatalf("layer %s has KeySwitches in batched mode", l.Layer)
+		}
+	}
+}
+
+func TestPackBatchValidation(t *testing.T) {
+	bnet := CompileBatched(cnn.NewTinyNet(), 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized batch did not panic")
+			}
+		}()
+		bnet.PackBatch(make([]*cnn.Tensor, 5))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty batch did not panic")
+			}
+		}()
+		bnet.PackBatch(nil)
+	}()
+}

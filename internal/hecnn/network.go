@@ -1,0 +1,221 @@
+package hecnn
+
+import (
+	"fmt"
+
+	"fxhenn/internal/cnn"
+)
+
+// Network is an HE-CNN: an ordered list of HE layers compiled from a
+// plaintext CNN for a given slot capacity.
+type Network struct {
+	Name   string
+	Slots  int
+	CNN    *cnn.Network
+	Layers []Layer
+}
+
+// Compile translates a plaintext CNN into its packed homomorphic form:
+//   - the first layer must be a convolution → ConvPacked (client-side
+//     per-kernel-position packing, Listing 1);
+//   - Square → SquareLayer;
+//   - interior convolutions and dense layers → MatVecGroup over the
+//     flattened equivalent matrix;
+//   - the final dense layer → MatVecCollect (logits land in slots 0..out-1).
+func Compile(c *cnn.Network, slots int) *Network {
+	if len(c.Layers) == 0 {
+		panic("hecnn: empty network")
+	}
+	if _, ok := c.Layers[0].(*cnn.Conv2D); !ok {
+		panic("hecnn: first layer must be a convolution")
+	}
+	n := &Network{Name: c.Name, Slots: slots, CNN: c}
+
+	// Track tensor shape through the network for conv flattening.
+	ch, hh, ww := c.InC, c.InH, c.InW
+	for i, l := range c.Layers {
+		switch layer := l.(type) {
+		case *cnn.Conv2D:
+			if i == 0 {
+				n.Layers = append(n.Layers, NewConvPacked(layer.Name(), layer, hh, ww, slots))
+			} else {
+				rows := prod3(layer.OutShape(ch, hh, ww))
+				cols := ch * hh * ww
+				_, oh, ow := layer.OutShape(ch, hh, ww)
+				winPerMap := oh * ow
+				n.Layers = append(n.Layers, NewMatVecGroup(
+					layer.Name(), rows, cols, slots,
+					convMatrix(layer, ch, hh, ww),
+					func(r int) float64 { return layer.Bias[r/winPerMap] },
+				))
+			}
+			ch, hh, ww = layer.OutShape(ch, hh, ww)
+		case *cnn.Square:
+			n.Layers = append(n.Layers, &SquareLayer{LayerName: layer.Name()})
+		case *cnn.AvgPool2D:
+			// Average pooling is a fixed linear map: lower it to the
+			// generic matvec over the flattened tensor.
+			rows := prod3(layer.OutShape(ch, hh, ww))
+			cols := ch * hh * ww
+			n.Layers = append(n.Layers, NewMatVecGroup(
+				layer.Name(), rows, cols, slots,
+				poolMatrix(layer, ch, hh, ww),
+				func(int) float64 { return 0 },
+			))
+			ch, hh, ww = layer.OutShape(ch, hh, ww)
+		case *cnn.Dense:
+			if i == len(c.Layers)-1 {
+				n.Layers = append(n.Layers, &MatVecCollect{
+					LayerName: layer.Name(),
+					Rows:      layer.Out, Cols: layer.In,
+					Weight: layer.Weight,
+					Bias:   func(r int) float64 { return layer.Bias[r] },
+					Slots:  slots,
+				})
+			} else {
+				n.Layers = append(n.Layers, NewMatVecGroup(
+					layer.Name(), layer.Out, layer.In, slots,
+					layer.Weight,
+					func(r int) float64 { return layer.Bias[r] },
+				))
+			}
+			ch, hh, ww = layer.Out, 1, 1
+		default:
+			panic(fmt.Sprintf("hecnn: unsupported layer type %T", l))
+		}
+	}
+	return n
+}
+
+func prod3(a, b, c int) int { return a * b * c }
+
+// convMatrix returns the weight accessor of the dense matrix equivalent to
+// conv over an (inC, inH, inW) input flattened in CHW order — how interior
+// convolutions ride the generic KS-layer machinery.
+func convMatrix(conv *cnn.Conv2D, inC, inH, inW int) func(r, c int) float64 {
+	_, outH, outW := conv.OutShape(inC, inH, inW)
+	return func(r, c int) float64 {
+		m := r / (outH * outW)
+		oy := (r / outW) % outH
+		ox := r % outW
+		ic := c / (inH * inW)
+		iy := (c / inW) % inH
+		ix := c % inW
+		ky := iy - oy*conv.Stride + conv.Pad
+		kx := ix - ox*conv.Stride + conv.Pad
+		if ky < 0 || ky >= conv.Kernel || kx < 0 || kx >= conv.Kernel {
+			return 0
+		}
+		return conv.Weight(m, ic, ky, kx)
+	}
+}
+
+// poolMatrix returns the weight accessor of the linear map equivalent to
+// non-overlapping average pooling over a CHW-flattened input.
+func poolMatrix(pool *cnn.AvgPool2D, inC, inH, inW int) func(r, c int) float64 {
+	_, outH, outW := pool.OutShape(inC, inH, inW)
+	norm := 1.0 / float64(pool.Window*pool.Window)
+	return func(r, c int) float64 {
+		m := r / (outH * outW)
+		oy := (r / outW) % outH
+		ox := r % outW
+		ic := c / (inH * inW)
+		iy := (c / inW) % inH
+		ix := c % inW
+		if ic != m {
+			return 0
+		}
+		if iy/pool.Window == oy && ix/pool.Window == ox &&
+			iy < outH*pool.Window && ix < outW*pool.Window {
+			return norm
+		}
+		return 0
+	}
+}
+
+// PackInput performs the client-side packing of an image for the first
+// convolution: one slot vector per kernel position (ic, ky, kx), each
+// holding the corresponding input pixel for every output window, replicated
+// across the outC map blocks (§II-B / Listing 1).
+func (n *Network) PackInput(img *cnn.Tensor) [][]float64 {
+	conv := n.Layers[0].(*ConvPacked)
+	c := conv.Conv
+	block := conv.outH * conv.outW
+	out := make([][]float64, 0, conv.NumPositions())
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.Kernel; ky++ {
+			for kx := 0; kx < c.Kernel; kx++ {
+				v := make([]float64, n.Slots)
+				for oy := 0; oy < conv.outH; oy++ {
+					for ox := 0; ox < conv.outW; ox++ {
+						iy := oy*c.Stride + ky - c.Pad
+						ix := ox*c.Stride + kx - c.Pad
+						var pix float64
+						if iy >= 0 && iy < img.H && ix >= 0 && ix < img.W {
+							pix = img.At(ic, iy, ix)
+						}
+						for m := 0; m < conv.outC; m++ {
+							v[m*block+oy*conv.outW+ox] = pix
+						}
+					}
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Count dry-runs the network, returning the per-layer HE-operation trace
+// without any cryptography. startLevel is the fresh-ciphertext level
+// (normally params.MaxLevel()).
+func (n *Network) Count(startLevel int) *Recorder {
+	rec := NewRecorder()
+	b := NewCountBackend(rec)
+	in := &State{Kind: Contiguous, N: 0}
+	conv := n.Layers[0].(*ConvPacked)
+	for i := 0; i < conv.NumPositions(); i++ {
+		in.CTs = append(in.CTs, &CT{level: startLevel, scale: 1})
+	}
+	s := in
+	for _, l := range n.Layers {
+		s = l.Apply(b, s)
+	}
+	return rec
+}
+
+// EvaluateEncrypted runs the layers on already-encrypted packed inputs,
+// returning the single output ciphertext handle. This is the server-side
+// entry point: it needs evaluation keys and the model weights but never the
+// secret key.
+func (n *Network) EvaluateEncrypted(b Backend, cts []*CT) *CT {
+	s := &State{Kind: Contiguous, CTs: cts}
+	for _, l := range n.Layers {
+		s = l.Apply(b, s)
+	}
+	if len(s.CTs) != 1 {
+		panic("hecnn: network did not end in a single ciphertext")
+	}
+	return s.CTs[0]
+}
+
+// Run executes the network functionally: packs and encrypts the image,
+// evaluates every layer homomorphically, and decrypts the logits. It
+// returns the logits and the recorded trace.
+func (n *Network) Run(ctx *Context, img *cnn.Tensor) ([]float64, *Recorder) {
+	rec := NewRecorder()
+	b := NewCryptoBackend(ctx, rec)
+	var cts []*CT
+	for _, v := range n.PackInput(img) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	out := ctx.DecryptVector(n.EvaluateEncrypted(b, cts))
+	lastRows := n.Layers[len(n.Layers)-1].OutElems()
+	return out[:lastRows], rec
+}
+
+// RotationsNeeded dry-runs the network and returns the rotation amounts to
+// generate Galois keys for.
+func (n *Network) RotationsNeeded(startLevel int) []int {
+	return n.Count(startLevel).Rotations()
+}

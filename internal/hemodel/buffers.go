@@ -1,0 +1,95 @@
+package hemodel
+
+import (
+	"fxhenn/internal/profile"
+)
+
+// Buffer model (§VI-A, Eq. 8–10). On-chip buffers come in two classes:
+// "Bn" buffers feed NTT/INTT cores and are partition-sensitive (their block
+// count scales with the partition factor and with P^intra, since every
+// parallel RNS-polynomial lane needs its own staging); "Bb" buffers feed the
+// elementwise basic modules. Buffers hold RNS polynomials, so a layer
+// operating on level-l ciphertexts keeps l-proportional poly sets in flight.
+//
+// Per-level buffer coefficients, calibrated so the preliminary LoLa-MNIST
+// design reproduces Table II's per-layer BRAM column within ~15% and its
+// >200% aggregate:
+//
+//	Rescale contributes 2 intra-scaled Bn polys per level;
+//	KeySwitch contributes 3.5 intra-scaled plus 3 fixed Bn polys per level
+//	  (digit staging and key double-buffering do not grow with intra);
+//	the Bb chain costs 1 poly per level, plus 1 per CCadd (second operand),
+//	  1 per PCmult (input staging; the plaintext streams from off-chip,
+//	  Fig. 5) and 2 per CCmult (tensor terms).
+const (
+	bnRescalePerLevel = 2.0
+	bnKSIntraPerLevel = 3.5
+	bnKSFixedPerLevel = 2.8
+	bbBasePerLevel    = 1.0
+	bbCCaddPerLevel   = 1.0
+	bbPCmultPerLevel  = 1.0
+	bbCCmultPerLevel  = 2.0
+)
+
+// LayerBRAM returns the BRAM blocks the layer's working set occupies under
+// config c (Eq. 8–10): Bn and Bb contributions, scaled by the layer's level
+// and the module parallelism, in units of RNS-polynomial buffers.
+func (c Config) LayerBRAM(layer *profile.Layer, g Geometry) int {
+	polyBuf := float64(PolyBufBlocks(g))
+	part := float64(PartitionFactor(c.NcNTT))
+	level := float64(layer.Level)
+
+	var bn, bb float64
+	if layer.UsesOp(profile.Rescale) {
+		m := c.Modules[profile.Rescale]
+		bn += bnRescalePerLevel * float64(m.Intra) * float64(m.Inter)
+	}
+	if layer.UsesOp(profile.KeySwitch) {
+		m := c.Modules[profile.KeySwitch]
+		bn += (bnKSIntraPerLevel*float64(m.Intra) + bnKSFixedPerLevel) * float64(m.Inter)
+	}
+	bb += bbBasePerLevel
+	if layer.UsesOp(profile.CCadd) {
+		bb += bbCCaddPerLevel * float64(c.Modules[profile.CCadd].Inter)
+	}
+	if layer.UsesOp(profile.PCmult) {
+		bb += bbPCmultPerLevel * float64(c.Modules[profile.PCmult].Inter)
+	}
+	if layer.UsesOp(profile.CCmult) {
+		bb += bbCCmultPerLevel * float64(c.Modules[profile.CCmult].Inter)
+	}
+
+	blocks := (bn*part + bb) * level * polyBuf
+	return int(blocks + 0.5)
+}
+
+// NetworkBRAM returns the chip-level BRAM demand with the §VI-A inter-layer
+// buffer reuse: layers execute sequentially, so the same physical blocks
+// serve every layer and the peak (maximum) layer demand is the total.
+func (c Config) NetworkBRAM(p *profile.Network, g Geometry) int {
+	peak := 0
+	for i := range p.Layers {
+		if b := c.LayerBRAM(&p.Layers[i], g); b > peak {
+			peak = b
+		}
+	}
+	return peak
+}
+
+// AggregateBRAM sums per-layer demands without reuse — what a design that
+// dedicates buffers to every layer would need (the Table IX "Aggregated"
+// column; >100% of the device signals effective reuse).
+func (c Config) AggregateBRAM(p *profile.Network, g Geometry) int {
+	total := 0
+	for i := range p.Layers {
+		total += c.LayerBRAM(&p.Layers[i], g)
+	}
+	return total
+}
+
+// TileWords returns the words per buffer partition tile of this design,
+// used for the URAM capacity conversion: one RNS polynomial split across
+// the partition factor.
+func (c Config) TileWords(g Geometry) int {
+	return g.N / PartitionFactor(c.NcNTT)
+}

@@ -1,0 +1,52 @@
+package hemodel
+
+import (
+	"fxhenn/internal/profile"
+)
+
+// Coarse-grained pipeline model (the rejected left-hand design of Fig. 2):
+// pipelining happens between whole HE operations, so the pipeline interval
+// is the slowest operation's full standalone latency — the time-consuming
+// Rescale (or KeySwitch) stage leaves the stage structure unbalanced and
+// throughput collapses. FxHENN's fine-grained basic-operation pipeline
+// (the main model in pipeline.go) is the paper's answer; this model exists
+// to quantify the difference (the ablation table and
+// BenchmarkAblation_PipelineGranularity).
+
+// CoarseLayerLatencyCycles returns the layer latency under coarse-grained
+// (whole-HE-op) pipelining: every operation occupies one slot whose length
+// is the slowest participating operation's standalone latency.
+func (c Config) CoarseLayerLatencyCycles(layer *profile.Layer, g Geometry) int64 {
+	// Slot length: the worst standalone op latency among the ops used.
+	slot := 0
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		if layer.Ops[op] == 0 {
+			continue
+		}
+		if l := OpLatencyCycles(op, g, layer.Level, c.NcNTT); l > slot {
+			slot = l
+		}
+	}
+	if slot == 0 {
+		return 0
+	}
+	var slots int64
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		n := layer.Ops[op]
+		if n == 0 {
+			continue
+		}
+		inter := c.Modules[op].Inter
+		slots += int64((n + inter - 1) / inter)
+	}
+	return slots * int64(slot)
+}
+
+// CoarseNetworkLatencyCycles sums the coarse-grained layer latencies.
+func (c Config) CoarseNetworkLatencyCycles(p *profile.Network, g Geometry) int64 {
+	var total int64
+	for i := range p.Layers {
+		total += c.CoarseLayerLatencyCycles(&p.Layers[i], g)
+	}
+	return total
+}

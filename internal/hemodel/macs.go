@@ -1,0 +1,56 @@
+package hemodel
+
+import (
+	"math/bits"
+
+	"fxhenn/internal/profile"
+)
+
+// HE-MAC accounting (Table IV): the paper compares the plaintext network's
+// multiply-accumulate count against the MACs actually executed by the HE
+// operations ("MACs of HOPs"), to show the 3–4 orders-of-magnitude blow-up
+// and the shift of the inter-layer workload balance. We count one MAC per
+// modular multiply-accumulate in each operation's basic-op expansion; a
+// butterfly is one modular multiplication plus an add/sub pair (2 MACs).
+
+// nttMACs returns the MACs of one length-N (I)NTT.
+func nttMACs(n int) int64 {
+	logN := bits.Len(uint(n)) - 1
+	return int64(n/2) * int64(logN) * 2
+}
+
+// OpHEMACs returns the modular MAC count of one HE operation at the given
+// level.
+func OpHEMACs(op profile.OpClass, g Geometry, level int) int64 {
+	ln := int64(level) * int64(g.N)
+	switch op {
+	case profile.CCadd, profile.PCmult, profile.CCmult:
+		return ln
+	case profile.Rescale:
+		return int64(level)*nttMACs(g.N) + int64(level-1)*2*int64(g.N)
+	case profile.KeySwitch:
+		transforms := int64(level + 2*(level+1))
+		return transforms*nttMACs(g.N) + 2*int64(level+1)*int64(g.N)
+	default:
+		panic("hemodel: unknown op")
+	}
+}
+
+// LayerHEMACs sums a layer's HE-MACs.
+func LayerHEMACs(layer *profile.Layer, g Geometry) int64 {
+	var total int64
+	for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+		total += int64(layer.Ops[op]) * OpHEMACs(op, g, layer.Level)
+	}
+	return total
+}
+
+// ConvCompareMs models our single-convolution-layer latency for the Table
+// VIII comparison against FPL'21: equal homomorphic work, normalized by the
+// DSP lane count, with the fine-grained basic-operation pipeline of Fig. 2
+// recovering the overlap the coarse-grained design loses. The pipeline gain
+// (0.65) is calibrated on the conv1 anchor.
+func ConvCompareMs(fplMs float64, fplDSP, ourDSP int) float64 {
+	const pipelineGain = 0.65
+	return fplMs * float64(fplDSP) / float64(ourDSP) * pipelineGain
+}

@@ -1,0 +1,203 @@
+// Package mlaas implements the machine-learning-as-a-service deployment of
+// §I over a real transport: the client packs and encrypts its image locally
+// and ships ciphertexts to the server; the server — holding only the model
+// weights and the public evaluation keys, never the secret key — evaluates
+// the HE-CNN homomorphically and returns the encrypted logits; only the
+// client can decrypt. The wire volume it reports is the concrete form of
+// the paper's "5-6 orders of magnitude" ciphertext expansion.
+//
+// Protocol (all little-endian, length-delimited):
+//
+//	request:  uint32 ciphertext count, then that many serialized ciphertexts
+//	response: status byte (0 ok / 1 error), then one ciphertext or a
+//	          uint32-length error string
+package mlaas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+)
+
+// maxRequestCiphertexts bounds a request so a malicious client cannot force
+// unbounded allocation.
+const maxRequestCiphertexts = 4096
+
+// Server evaluates encrypted inferences. It holds the compiled network,
+// the model weights (inside the network), and the evaluation keys — but no
+// secret key.
+type Server struct {
+	params ckks.Parameters
+	net    *hecnn.Network
+	ctx    *hecnn.Context
+
+	mu     sync.Mutex
+	served int
+}
+
+// NewServer builds a server from the compiled network and the client's
+// published evaluation keys.
+func NewServer(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeys) *Server {
+	return &Server{
+		params: params,
+		net:    henet,
+		ctx: &hecnn.Context{
+			Params:  params,
+			Encoder: ckks.NewEncoder(params),
+			Eval:    ckks.NewEvaluator(params, rlk, rtk),
+		},
+	}
+}
+
+// Served returns the number of completed inferences.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Serve accepts connections until the listener closes, handling one
+// inference per connection.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			s.Handle(conn)
+		}()
+	}
+}
+
+// Handle processes one request/response exchange on rw.
+func (s *Server) Handle(rw io.ReadWriter) {
+	if err := s.handle(rw); err != nil {
+		// Report the failure to the client; transport errors after this
+		// point are unrecoverable anyway.
+		msg := err.Error()
+		var hdr [5]byte
+		hdr[0] = 1
+		binary.LittleEndian.PutUint32(hdr[1:], uint32(len(msg)))
+		rw.Write(hdr[:])        //nolint:errcheck
+		io.WriteString(rw, msg) //nolint:errcheck
+	}
+}
+
+func (s *Server) handle(rw io.ReadWriter) error {
+	var cntBuf [4]byte
+	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
+		return fmt.Errorf("reading request header: %w", err)
+	}
+	count := int(binary.LittleEndian.Uint32(cntBuf[:]))
+	expect := s.net.Layers[0].(*hecnn.ConvPacked).NumPositions()
+	if count != expect {
+		return fmt.Errorf("expected %d packed ciphertexts, got %d", expect, count)
+	}
+	if count > maxRequestCiphertexts {
+		return fmt.Errorf("request too large")
+	}
+	cts := make([]*hecnn.CT, 0, count)
+	for i := 0; i < count; i++ {
+		ct, err := ckks.ReadCiphertext(rw, s.params)
+		if err != nil {
+			return fmt.Errorf("reading ciphertext %d: %w", i, err)
+		}
+		cts = append(cts, hecnn.WrapCiphertext(ct))
+	}
+
+	out := s.net.EvaluateEncrypted(hecnn.NewCryptoBackend(s.ctx, nil), cts)
+
+	if _, err := rw.Write([]byte{0}); err != nil {
+		return nil // client gone; nothing to report
+	}
+	if _, err := out.Ciphertext().WriteTo(rw); err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+	return nil
+}
+
+// Client packs, encrypts, ships, and decrypts. It owns the secret key.
+type Client struct {
+	params    ckks.Parameters
+	net       *hecnn.Network
+	encoder   *ckks.Encoder
+	encryptor *ckks.Encryptor
+	decryptor *ckks.Decryptor
+
+	// BytesSent / BytesReceived accumulate wire traffic.
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// NewClient builds the client side from the key material.
+func NewClient(params ckks.Parameters, henet *hecnn.Network, pk *ckks.PublicKey, sk *ckks.SecretKey, seed int64) *Client {
+	return &Client{
+		params:    params,
+		net:       henet,
+		encoder:   ckks.NewEncoder(params),
+		encryptor: ckks.NewEncryptor(params, pk, seed),
+		decryptor: ckks.NewDecryptor(params, sk),
+	}
+}
+
+// Infer runs one encrypted inference over the connection and returns the
+// decrypted logits.
+func (c *Client) Infer(conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+	packed := c.net.PackInput(img)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(packed)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	c.BytesSent += 4
+	level := c.params.MaxLevel()
+	for _, v := range packed {
+		ct := c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
+		n, err := ct.WriteTo(conn)
+		c.BytesSent += n
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return nil, err
+	}
+	c.BytesReceived++
+	if status[0] != 0 {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		msgLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if msgLen > 1<<16 {
+			return nil, fmt.Errorf("server error (unreadable)")
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(conn, msg); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("server error: %s", msg)
+	}
+	out, err := ckks.ReadCiphertext(conn, c.params)
+	if err != nil {
+		return nil, err
+	}
+	c.BytesReceived += int64(out.SerializedSize())
+
+	logits := c.encoder.Decode(c.decryptor.Decrypt(out))
+	rows := c.net.Layers[len(c.net.Layers)-1].OutElems()
+	return logits[:rows], nil
+}

@@ -1,0 +1,241 @@
+// Package modarith provides the word-level modular arithmetic primitives that
+// every HE "basic operation" in the paper reduces to: Barrett reduction,
+// modular addition/subtraction/multiplication, exponentiation and inversion
+// over word-size primes (the RNS factors q_i of the CKKS coefficient
+// modulus Q).
+//
+// All moduli handled here are NTT-friendly primes below 2^62, so a product of
+// two residues fits in a 128-bit intermediate obtained via math/bits.
+package modarith
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Modulus bundles a word-size prime with the precomputed constants needed for
+// Barrett reduction. It corresponds to a single RNS factor q_i.
+type Modulus struct {
+	Q uint64 // the prime modulus, Q < 2^62
+
+	// BarrettHi:BarrettLo hold floor(2^128 / Q), the 128-bit Barrett
+	// constant used to reduce 128-bit products.
+	BarrettHi uint64
+	BarrettLo uint64
+}
+
+// NewModulus precomputes Barrett constants for q. It panics if q is zero,
+// one, or does not fit the q < 2^62 contract (needed so lazy sums of two
+// residues cannot overflow 2^63).
+func NewModulus(q uint64) Modulus {
+	if q < 2 || q >= 1<<62 {
+		panic(fmt.Sprintf("modarith: modulus %d out of range [2, 2^62)", q))
+	}
+	// Compute floor(2^128 / q) via two chained 64-bit divisions:
+	// first floor(2^64/q) then the remainder-extended low word.
+	hi, r := bits.Div64(1, 0, q) // floor(2^64 / q), remainder r
+	lo, _ := bits.Div64(r, 0, q) // floor(r*2^64 / q)
+	return Modulus{Q: q, BarrettHi: hi, BarrettLo: lo}
+}
+
+// Add returns (a + b) mod q for a, b < q.
+func (m Modulus) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= m.Q {
+		s -= m.Q
+	}
+	return s
+}
+
+// Sub returns (a - b) mod q for a, b < q.
+func (m Modulus) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + m.Q - b
+}
+
+// Neg returns (-a) mod q for a < q.
+func (m Modulus) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m.Q - a
+}
+
+// Reduce returns x mod q for an arbitrary 64-bit x using Barrett reduction.
+func (m Modulus) Reduce(x uint64) uint64 {
+	// q̂ = floor(x * floor(2^64/q) / 2^64) approximates floor(x/q) within 1.
+	qhat, _ := bits.Mul64(x, m.BarrettHi)
+	r := x - qhat*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// ReduceWide returns (hi*2^64 + lo) mod q via 128-bit Barrett reduction.
+// The caller must guarantee hi*2^64 + lo < q*2^64 so the quotient fits one
+// word; products of two residues (each < q) always satisfy this.
+func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
+	// Estimate quotient: qhat = floor( x * floor(2^128/q) / 2^128 ).
+	// x = hi*2^64 + lo, constant c = BarrettHi*2^64 + BarrettLo.
+	// We need the 2^128-weighted word of the 256-bit product x*c; every
+	// approximation below rounds down, so qhat underestimates the true
+	// quotient by at most 2 and the correction loop finishes the job.
+	h1, _ := bits.Mul64(lo, m.BarrettLo) // contributes at 2^64
+	m1h, m1l := bits.Mul64(lo, m.BarrettHi)
+	m2h, m2l := bits.Mul64(hi, m.BarrettLo)
+	t1l := hi * m.BarrettHi // low word of hi*BarrettHi, weighted 2^128
+
+	// Sum the 2^64-weighted words to get carries into the 2^128 word.
+	mid, c1 := bits.Add64(m1l, m2l, 0)
+	mid, c2 := bits.Add64(mid, h1, 0)
+	carry := c1 + c2
+
+	qhat := t1l + m1h + m2h + carry // low word of floor(x*c/2^128), possible wrap is benign after correction loop
+
+	// r = x - qhat*q (mod 2^128); true remainder is r or r - q or r - 2q.
+	ph, pl := bits.Mul64(qhat, m.Q)
+	rl, borrow := bits.Sub64(lo, pl, 0)
+	rh, _ := bits.Sub64(hi, ph, borrow)
+	// The estimate is within 2 of the true quotient, so at most two
+	// corrective subtractions are needed; rh can only be nonzero when the
+	// estimate undershot, in which case subtracting q drains it.
+	for rh != 0 || rl >= m.Q {
+		rl, borrow = bits.Sub64(rl, m.Q, 0)
+		rh -= borrow
+	}
+	return rl
+}
+
+// Mul returns (a * b) mod q for a, b < q.
+func (m Modulus) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.ReduceWide(hi, lo)
+}
+
+// MulAdd returns (a*b + c) mod q for a, b, c < q.
+func (m Modulus) MulAdd(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi += carry
+	return m.ReduceWide(hi, lo)
+}
+
+// Pow returns a^e mod q by square-and-multiply.
+func (m Modulus) Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := m.Reduce(a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = m.Mul(result, base)
+		}
+		base = m.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^-1 mod q. It panics if a ≡ 0 (mod q). Because q is prime,
+// the inverse is a^(q-2) by Fermat's little theorem.
+func (m Modulus) Inv(a uint64) uint64 {
+	a = m.Reduce(a)
+	if a == 0 {
+		panic("modarith: inverse of zero")
+	}
+	return m.Pow(a, m.Q-2)
+}
+
+// MulConst holds a precomputed Shoup constant for repeated multiplication by
+// a fixed operand w mod q: wShoup = floor(w * 2^64 / q). Shoup multiplication
+// replaces Barrett's 128-bit reduction with one high-product and one
+// multiply, which is what the NTT inner loop uses (it mirrors the DSP-lean
+// butterfly the paper's HLS modules implement).
+type MulConst struct {
+	W      uint64
+	WShoup uint64
+}
+
+// NewMulConst precomputes the Shoup constant for w under m.
+func NewMulConst(m Modulus, w uint64) MulConst {
+	w = m.Reduce(w)
+	hi, _ := bits.Div64(w, 0, m.Q)
+	return MulConst{W: w, WShoup: hi}
+}
+
+// Mul returns (a * c.W) mod q for a < q using Shoup's trick.
+func (c MulConst) Mul(a uint64, m Modulus) uint64 {
+	qhat, _ := bits.Mul64(a, c.WShoup)
+	r := a*c.W - qhat*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// AddVec computes out[i] = (a[i] + b[i]) mod q over equal-length slices.
+// The slice forms mirror the paper's elementwise "basic operation modules"
+// (ModAdd/ModSub/ModMult) that stream N coefficients.
+func (m Modulus) AddVec(out, a, b []uint64) {
+	checkLen(len(out), len(a), len(b))
+	for i := range out {
+		out[i] = m.Add(a[i], b[i])
+	}
+}
+
+// SubVec computes out[i] = (a[i] - b[i]) mod q.
+func (m Modulus) SubVec(out, a, b []uint64) {
+	checkLen(len(out), len(a), len(b))
+	for i := range out {
+		out[i] = m.Sub(a[i], b[i])
+	}
+}
+
+// MulVec computes out[i] = (a[i] * b[i]) mod q.
+func (m Modulus) MulVec(out, a, b []uint64) {
+	checkLen(len(out), len(a), len(b))
+	for i := range out {
+		out[i] = m.Mul(a[i], b[i])
+	}
+}
+
+// MulAddVec computes out[i] = (out[i] + a[i]*b[i]) mod q, the HE-MAC kernel.
+func (m Modulus) MulAddVec(out, a, b []uint64) {
+	checkLen(len(out), len(a), len(b))
+	for i := range out {
+		out[i] = m.MulAdd(a[i], b[i], out[i])
+	}
+}
+
+// ScalarMulVec computes out[i] = (a[i] * s) mod q with a Shoup constant.
+func (m Modulus) ScalarMulVec(out, a []uint64, s uint64) {
+	checkLen(len(out), len(a), len(a))
+	c := NewMulConst(m, s)
+	for i := range out {
+		out[i] = c.Mul(a[i], m)
+	}
+}
+
+// NegVec computes out[i] = (-a[i]) mod q.
+func (m Modulus) NegVec(out, a []uint64) {
+	checkLen(len(out), len(a), len(a))
+	for i := range out {
+		out[i] = m.Neg(a[i])
+	}
+}
+
+// ReduceVec computes out[i] = a[i] mod q for arbitrary 64-bit inputs.
+func (m Modulus) ReduceVec(out, a []uint64) {
+	checkLen(len(out), len(a), len(a))
+	for i := range out {
+		out[i] = m.Reduce(a[i])
+	}
+}
+
+func checkLen(a, b, c int) {
+	if a != b || a != c {
+		panic(fmt.Sprintf("modarith: mismatched vector lengths %d/%d/%d", a, b, c))
+	}
+}

@@ -1,0 +1,136 @@
+// Package ntt implements the negacyclic number-theoretic transform over
+// Z_q[X]/(X^N+1), the fundamental building block of the Rescale and
+// KeySwitch HE operations and — per the paper's first observation (§III) —
+// the performance bottleneck of the whole HE-CNN accelerator.
+//
+// The implementation follows the merged-twist iterative algorithm of Longa &
+// Naehrig: the forward transform folds the ψ^i twisting into the butterfly
+// twiddles (stored in bit-reversed order), so polynomial multiplication is
+// NTT → pointwise → INTT with no separate bit-reversal or twisting passes.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fxhenn/internal/modarith"
+	"fxhenn/internal/primes"
+)
+
+// Table holds the precomputed twiddle factors for transforms of length N
+// over a single RNS modulus q.
+type Table struct {
+	N   int
+	Mod modarith.Modulus
+
+	psiRev    []modarith.MulConst // ψ^bitrev(i), Shoup form, forward butterflies
+	psiInvRev []modarith.MulConst // ψ^-bitrev(i), inverse butterflies
+	nInv      modarith.MulConst   // N^-1 mod q, folded into the inverse pass
+}
+
+// NewTable precomputes twiddles for length-n transforms modulo q. n must be
+// a power of two and q ≡ 1 (mod 2n).
+func NewTable(n int, q uint64) *Table {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("ntt: length %d is not a power of two ≥ 2", n))
+	}
+	if (q-1)%uint64(2*n) != 0 {
+		panic(fmt.Sprintf("ntt: modulus %d is not NTT-friendly for N=%d", q, n))
+	}
+	mod := modarith.NewModulus(q)
+	psi := primes.MinimalPrimitiveRootOfUnity(q, uint64(2*n))
+	psiInv := mod.Inv(psi)
+
+	logN := bits.TrailingZeros(uint(n))
+	t := &Table{
+		N:         n,
+		Mod:       mod,
+		psiRev:    make([]modarith.MulConst, n),
+		psiInvRev: make([]modarith.MulConst, n),
+	}
+	fwd, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint32(i), logN)
+		t.psiRev[r] = modarith.NewMulConst(mod, fwd)
+		t.psiInvRev[r] = modarith.NewMulConst(mod, inv)
+		fwd = mod.Mul(fwd, psi)
+		inv = mod.Mul(inv, psiInv)
+	}
+	t.nInv = modarith.NewMulConst(mod, mod.Inv(uint64(n)))
+	return t
+}
+
+func reverseBits(v uint32, n int) uint32 {
+	return bits.Reverse32(v) >> (32 - uint(n))
+}
+
+// Forward transforms a (length N, coefficients < q) in place from coefficient
+// representation to the negacyclic evaluation (NTT) domain.
+func (t *Table) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	mod := t.Mod
+	n := t.N
+	tt := n
+	for m := 1; m < n; m <<= 1 {
+		tt >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * tt
+			j2 := j1 + tt
+			w := t.psiRev[m+i]
+			for j := j1; j < j2; j++ {
+				// Cooley-Tukey butterfly: (a, b) -> (a + w·b, a - w·b)
+				u := a[j]
+				v := w.Mul(a[j+tt], mod)
+				a[j] = mod.Add(u, v)
+				a[j+tt] = mod.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a in place from the NTT domain back to coefficient
+// representation, including the 1/N normalization.
+func (t *Table) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
+	}
+	mod := t.Mod
+	n := t.N
+	tt := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + tt
+			w := t.psiInvRev[h+i]
+			for j := j1; j < j2; j++ {
+				// Gentleman-Sande butterfly: (a, b) -> (a + b, w·(a - b))
+				u := a[j]
+				v := a[j+tt]
+				a[j] = mod.Add(u, v)
+				a[j+tt] = w.Mul(mod.Sub(u, v), mod)
+			}
+			j1 += 2 * tt
+		}
+		tt <<= 1
+	}
+	for j := 0; j < n; j++ {
+		a[j] = t.nInv.Mul(a[j], mod)
+	}
+}
+
+// MulPoly computes the negacyclic product out = a * b mod (X^N+1, q) for
+// coefficient-domain inputs, leaving a and b untouched. It is a convenience
+// for tests and for callers that do not manage the NTT domain themselves.
+func (t *Table) MulPoly(out, a, b []uint64) {
+	ta := make([]uint64, t.N)
+	tb := make([]uint64, t.N)
+	copy(ta, a)
+	copy(tb, b)
+	t.Forward(ta)
+	t.Forward(tb)
+	t.Mod.MulVec(out, ta, tb)
+	t.Inverse(out)
+}

@@ -1,0 +1,160 @@
+// Package primes generates the NTT-friendly prime moduli that form the RNS
+// basis of the CKKS coefficient modulus Q. Every prime q returned here
+// satisfies q ≡ 1 (mod 2N) so that Z_q contains a primitive 2N-th root of
+// unity ψ, which is what makes the negacyclic NTT over Z_q[X]/(X^N+1)
+// possible (§II-A of the paper).
+package primes
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether n is prime, using a Miller-Rabin test with a base
+// set that is deterministic for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	// Write n-1 = d * 2^r with d odd.
+	d := n - 1
+	r := uint(0)
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	// These witnesses are known to be sufficient for all n < 2^64
+	// (Sorenson & Webster, 2015).
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := uint(0); i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// mulMod computes a*b mod n without overflow for any 64-bit operands.
+func mulMod(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%n, lo, n)
+	return rem
+}
+
+// powMod computes a^e mod n.
+func powMod(a, e, n uint64) uint64 {
+	result := uint64(1) % n
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulMod(result, a, n)
+		}
+		a = mulMod(a, a, n)
+		e >>= 1
+	}
+	return result
+}
+
+// GenerateNTTPrimes returns count distinct primes of exactly bitSize bits
+// with q ≡ 1 (mod 2N), searching downward from 2^bitSize. It panics if the
+// request cannot be satisfied, which for the paper's parameter ranges
+// (30-60 bit primes, N ≤ 2^14) never happens.
+func GenerateNTTPrimes(bitSize, logN, count int) []uint64 {
+	if bitSize < 4 || bitSize > 61 {
+		panic(fmt.Sprintf("primes: bitSize %d out of supported range [4,61]", bitSize))
+	}
+	if logN < 1 || logN > 20 {
+		panic(fmt.Sprintf("primes: logN %d out of range", logN))
+	}
+	m := uint64(1) << uint(logN+1) // 2N
+	upper := uint64(1) << uint(bitSize)
+	lower := uint64(1) << uint(bitSize-1)
+
+	// Largest candidate ≡ 1 (mod 2N) below 2^bitSize.
+	c := upper - (upper-1)%m
+
+	out := make([]uint64, 0, count)
+	for len(out) < count {
+		if c <= lower {
+			panic(fmt.Sprintf("primes: exhausted %d-bit candidates for 2N=%d", bitSize, m))
+		}
+		if IsPrime(c) {
+			out = append(out, c)
+		}
+		c -= m
+	}
+	return out
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^*.
+// q must be prime.
+func PrimitiveRoot(q uint64) uint64 {
+	factors := factorize(q - 1)
+	for g := uint64(2); ; g++ {
+		ok := true
+		for _, f := range factors {
+			if powMod(g, (q-1)/f, q) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// MinimalPrimitiveRootOfUnity returns a primitive m-th root of unity in Z_q.
+// It requires m | q-1 and panics otherwise.
+func MinimalPrimitiveRootOfUnity(q, m uint64) uint64 {
+	if (q-1)%m != 0 {
+		panic(fmt.Sprintf("primes: %d does not divide q-1 for q=%d", m, q))
+	}
+	g := PrimitiveRoot(q)
+	w := powMod(g, (q-1)/m, q)
+	// w is a primitive m-th root: its order divides m; since g is a
+	// generator, the order is exactly m.
+	return w
+}
+
+// factorize returns the distinct prime factors of n by trial division;
+// n-1 for our word-size primes factors quickly because it is divisible by a
+// large power of two.
+func factorize(n uint64) []uint64 {
+	var factors []uint64
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		if n%p == 0 {
+			factors = append(factors, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	for f := uint64(17); f*f <= n; f += 2 {
+		if n%f == 0 {
+			factors = append(factors, f)
+			for n%f == 0 {
+				n /= f
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}

@@ -1,0 +1,160 @@
+package primes
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	known := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		6: false, 7: true, 9: false, 25: false, 29: true, 91: false,
+		97: true, 561: false /* Carmichael */, 1105: false, 65537: true,
+		2147483647: true /* Mersenne 2^31-1 */, 4294967297: false, /* Fermat F5 */
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+// TestIsPrimeMatchesBigInt cross-checks the deterministic Miller-Rabin
+// against math/big's ProbablyPrime over arbitrary 64-bit inputs.
+func TestIsPrimeMatchesBigInt(t *testing.T) {
+	f := func(n uint64) bool {
+		n %= 1 << 40 // keep big.Int fast while covering multi-word reduction paths
+		return IsPrime(n) == new(big.Int).SetUint64(n).ProbablyPrime(20)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, tc := range []struct{ bits, logN, count int }{
+		{30, 13, 8}, {36, 14, 8}, {54, 11, 2}, {17, 4, 3}, {45, 12, 4},
+	} {
+		ps := GenerateNTTPrimes(tc.bits, tc.logN, tc.count)
+		if len(ps) != tc.count {
+			t.Fatalf("want %d primes, got %d", tc.count, len(ps))
+		}
+		seen := map[uint64]bool{}
+		m := uint64(1) << uint(tc.logN+1)
+		for _, q := range ps {
+			if seen[q] {
+				t.Fatalf("duplicate prime %d", q)
+			}
+			seen[q] = true
+			if !IsPrime(q) {
+				t.Fatalf("%d is not prime", q)
+			}
+			if q%m != 1 {
+				t.Fatalf("%d is not ≡ 1 mod %d", q, m)
+			}
+			if bitLen(q) != tc.bits {
+				t.Fatalf("%d has %d bits, want %d", q, bitLen(q), tc.bits)
+			}
+		}
+	}
+}
+
+func bitLen(x uint64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func TestGenerateNTTPrimesPanics(t *testing.T) {
+	for _, tc := range []struct{ bits, logN, count int }{
+		{3, 10, 1}, {62, 10, 1}, {30, 0, 1}, {30, 21, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GenerateNTTPrimes(%d,%d,%d) did not panic", tc.bits, tc.logN, tc.count)
+				}
+			}()
+			GenerateNTTPrimes(tc.bits, tc.logN, tc.count)
+		}()
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	for _, q := range []uint64{17, 257, 65537, 1073479681, 68718428161} {
+		g := PrimitiveRoot(q)
+		// g must not satisfy g^((q-1)/f) = 1 for any prime factor f of q-1;
+		// verify order is exactly q-1 via factor checks.
+		for _, f := range factorize(q - 1) {
+			if powMod(g, (q-1)/f, q) == 1 {
+				t.Fatalf("q=%d: %d is not a primitive root", q, g)
+			}
+		}
+		if powMod(g, q-1, q) != 1 {
+			t.Fatalf("q=%d: g^(q-1) != 1", q)
+		}
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	for _, tc := range []struct{ q, m uint64 }{
+		{65537, 32}, {1073479681, 16384}, {68718428161, 32768}, {257, 2},
+	} {
+		w := MinimalPrimitiveRootOfUnity(tc.q, tc.m)
+		if powMod(w, tc.m, tc.q) != 1 {
+			t.Fatalf("w^m != 1 for q=%d m=%d", tc.q, tc.m)
+		}
+		if tc.m > 1 && powMod(w, tc.m/2, tc.q) == 1 {
+			t.Fatalf("w has order < m for q=%d m=%d", tc.q, tc.m)
+		}
+	}
+}
+
+func TestRootOfUnityPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m not dividing q-1")
+		}
+	}()
+	MinimalPrimitiveRootOfUnity(65537, 3)
+}
+
+func TestFactorize(t *testing.T) {
+	cases := map[uint64][]uint64{
+		12:                  {2, 3},
+		65536:               {2},
+		1:                   nil,
+		97:                  {97},
+		3 * 5 * 7 * 11 * 13: {3, 5, 7, 11, 13},
+	}
+	for n, want := range cases {
+		got := factorize(n)
+		if len(got) != len(want) {
+			t.Fatalf("factorize(%d)=%v want %v", n, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("factorize(%d)=%v want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestMulModPowModWide(t *testing.T) {
+	n := uint64(18014398508400641)
+	a := n - 2
+	b := n - 3
+	prod := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+	want := prod.Mod(prod, new(big.Int).SetUint64(n)).Uint64()
+	if got := mulMod(a, b, n); got != want {
+		t.Fatalf("mulMod=%d want %d", got, want)
+	}
+	// Fermat: a^(n-1) = 1 mod prime n.
+	if powMod(a, n-1, n) != 1 {
+		t.Fatal("powMod violates Fermat's little theorem")
+	}
+}

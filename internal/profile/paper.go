@@ -1,0 +1,57 @@
+package profile
+
+// This file reconstructs the paper's exact workload profiles for
+// FxHENN-MNIST and FxHENN-CIFAR10 from the published counts:
+//
+//   - Table IV: Cnv1 = 75 HOPs, Fc1 = 325 HOPs (MNIST);
+//   - Table VI: total HOPs 0.83e3 (MNIST) / 82.73e3 (CIFAR10), model sizes
+//     15.57 MB / 2471.25 MB;
+//   - Table VII: HOP 826 / KS 280 (MNIST), HOP 82K / KS 57K (CIFAR10);
+//   - Table II: the per-layer HE-operation module sets
+//     (Cnv1: OP1,OP2,OP4; Act: OP3,OP4,OP5; Fc: OP1,OP2,OP4,OP5);
+//   - Listing 1: Cnv1 = 25 × (PCmult, Rescale, CCadd).
+//
+// The published data pins layer totals and module sets; the split of Fc-layer
+// HOPs between PCmult/CCadd/Rescale/KeySwitch inside those totals is not
+// published and is reconstructed here to satisfy every published constraint
+// simultaneously (documented in EXPERIMENTS.md). Levels follow the depth-5
+// rescale chain: fresh ciphertexts at L=7, one level per multiplicative
+// layer.
+
+// PaperMNIST returns the FxHENN-MNIST workload exactly as published.
+func PaperMNIST() *Network {
+	return &Network{
+		Name: "FxHENN-MNIST", LogN: 13, L: 7, QBits: 30, SecurityBits: 128,
+		PlaintextCount: 34, // 15.57 MB / (8192·7·8 B)
+		PlaintextWords: 34 * 7 * 8192,
+		Layers: []Layer{
+			{Name: "Cnv1", KS: false, Level: 7, Ops: opc(25, 25, 0, 25, 0)},
+			{Name: "Act1", KS: true, Level: 6, Ops: opc(0, 0, 1, 1, 1)},
+			{Name: "Fc1", KS: true, Level: 5, Ops: opc(50, 50, 0, 17, 208)},
+			{Name: "Act2", KS: true, Level: 4, Ops: opc(0, 0, 1, 1, 1)},
+			{Name: "Fc2", KS: true, Level: 3, Ops: opc(150, 150, 0, 50, 70)},
+		},
+	}
+}
+
+// PaperCIFAR10 returns the FxHENN-CIFAR10 workload exactly as published.
+func PaperCIFAR10() *Network {
+	return &Network{
+		Name: "FxHENN-CIFAR10", LogN: 14, L: 7, QBits: 36, SecurityBits: 192,
+		PlaintextCount: 2694, // 2471.25 MB / (16384·7·8 B)
+		PlaintextWords: 2694 * 7 * 16384,
+		Layers: []Layer{
+			{Name: "Cnv1", KS: false, Level: 7, Ops: opc(75, 75, 0, 75, 0)},
+			{Name: "Act1", KS: true, Level: 6, Ops: opc(0, 0, 1, 1, 1)},
+			{Name: "Cnv2", KS: true, Level: 5, Ops: opc(8000, 6000, 0, 6000, 50000)},
+			{Name: "Act2", KS: true, Level: 4, Ops: opc(0, 0, 1, 1, 1)},
+			{Name: "Fc2", KS: true, Level: 3, Ops: opc(2500, 2500, 0, 501, 6998)},
+		},
+	}
+}
+
+// opc builds an op-count array in OP1..OP5 order
+// (CCadd, PCmult, CCmult, Rescale, KeySwitch).
+func opc(ccadd, pcmult, ccmult, rescale, keyswitch int) [NumOpClasses]int {
+	return [NumOpClasses]int{ccadd, pcmult, ccmult, rescale, keyswitch}
+}

@@ -1,0 +1,179 @@
+// Package profile defines the abstract per-layer HE-operation workload
+// description that FxHENN's resource-latency models and design space
+// exploration consume: for every HE-CNN layer, how many operations of each
+// kind run and at which ciphertext level. Profiles come from two sources —
+// derived from a dry run of our functional hecnn networks, or reconstructed
+// from the counts the paper publishes (Tables II, IV, VI, VII) for
+// regenerating its tables faithfully.
+package profile
+
+import (
+	"fmt"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/hecnn"
+)
+
+// OpClass enumerates the five hardware HE operation modules of Table I.
+// Relinearize and Rotate collapse into KeySwitch, as in the paper.
+type OpClass int
+
+const (
+	// CCadd is OP1.
+	CCadd OpClass = iota
+	// PCmult is OP2 (PCadd rides the same elementwise module).
+	PCmult
+	// CCmult is OP3.
+	CCmult
+	// Rescale is OP4.
+	Rescale
+	// KeySwitch is OP5 (Relinearize/Rotate).
+	KeySwitch
+	// NumOpClasses is the module count.
+	NumOpClasses
+)
+
+// String returns the paper's operation name.
+func (o OpClass) String() string {
+	return [...]string{"CCadd", "PCmult", "CCmult", "Rescale", "KeySwitch"}[o]
+}
+
+// OpLabel returns the paper's OP1..OP5 label.
+func (o OpClass) OpLabel() string {
+	return [...]string{"OP1", "OP2", "OP3", "OP4", "OP5"}[o]
+}
+
+// ClassOf maps a ckks evaluator op to its hardware module.
+func ClassOf(op ckks.Op) OpClass {
+	switch op {
+	case ckks.OpCCadd:
+		return CCadd
+	case ckks.OpPCadd, ckks.OpPCmult:
+		return PCmult
+	case ckks.OpCCmult:
+		return CCmult
+	case ckks.OpRescale:
+		return Rescale
+	case ckks.OpRelin, ckks.OpRotate:
+		return KeySwitch
+	default:
+		panic(fmt.Sprintf("profile: unknown op %v", op))
+	}
+}
+
+// Layer is the workload of one HE-CNN layer.
+type Layer struct {
+	Name string
+	// KS marks the paper's layer classification (§V-A): true if the layer
+	// contains KeySwitch operations.
+	KS bool
+	// Ops[c] is the count of operations in class c.
+	Ops [NumOpClasses]int
+	// Level is the ciphertext level (active RNS polynomial count) the
+	// layer predominantly operates at.
+	Level int
+}
+
+// HOPs returns the layer's total operation count.
+func (l *Layer) HOPs() int {
+	n := 0
+	for _, c := range l.Ops {
+		n += c
+	}
+	return n
+}
+
+// UsesOp reports whether the layer invokes the given module.
+func (l *Layer) UsesOp(c OpClass) bool { return l.Ops[c] > 0 }
+
+// OpModules returns the paper-style module list, e.g. "OP1,OP2,OP4".
+func (l *Layer) OpModules() string {
+	s := ""
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if l.UsesOp(c) {
+			if s != "" {
+				s += ","
+			}
+			s += c.OpLabel()
+		}
+	}
+	return s
+}
+
+// Network is the full workload description of an HE-CNN.
+type Network struct {
+	Name string
+	// LogN, L, QBits mirror the CKKS parameter set.
+	LogN, L, QBits int
+	// SecurityBits is the claimed security level λ (Table VII).
+	SecurityBits int
+	Layers       []Layer
+	// PlaintextCount is the number of encoded weight plaintexts.
+	PlaintextCount int
+	// PlaintextWords is the total RNS words across all weight plaintexts
+	// (level-aware: a plaintext at level l holds l·N words), for Table
+	// VI's Mod.Size column.
+	PlaintextWords int64
+}
+
+// N returns the ring degree.
+func (n *Network) N() int { return 1 << uint(n.LogN) }
+
+// TotalHOPs sums all layers.
+func (n *Network) TotalHOPs() int {
+	t := 0
+	for i := range n.Layers {
+		t += n.Layers[i].HOPs()
+	}
+	return t
+}
+
+// TotalKS sums KeySwitch counts (Table VII's "KS" column).
+func (n *Network) TotalKS() int {
+	t := 0
+	for i := range n.Layers {
+		t += n.Layers[i].Ops[KeySwitch]
+	}
+	return t
+}
+
+// ModelSizeBytes returns the encoded-weight volume (Table VI's Mod.Size):
+// the level-aware word count at 8 bytes per RNS word.
+func (n *Network) ModelSizeBytes() int64 {
+	return n.PlaintextWords * 8
+}
+
+// Layer returns the named layer, or nil.
+func (n *Network) Layer(name string) *Layer {
+	for i := range n.Layers {
+		if n.Layers[i].Name == name {
+			return &n.Layers[i]
+		}
+	}
+	return nil
+}
+
+// FromRecorder converts a hecnn dry-run trace into a workload profile.
+// Levels are taken as the maximum level each layer operates at.
+func FromRecorder(name string, rec *hecnn.Recorder, logN, l, qBits, security int) *Network {
+	np := &Network{Name: name, LogN: logN, L: l, QBits: qBits, SecurityBits: security}
+	for _, le := range rec.Layers {
+		layer := Layer{Name: le.Layer}
+		for _, e := range le.Events {
+			layer.Ops[ClassOf(e.Op)]++
+			if e.Level > layer.Level {
+				layer.Level = e.Level
+			}
+			if e.Op.IsKeySwitch() {
+				layer.KS = true
+			}
+			switch e.Op {
+			case ckks.OpPCmult, ckks.OpPCadd:
+				np.PlaintextCount++
+				np.PlaintextWords += int64(e.Level) * int64(np.N())
+			}
+		}
+		np.Layers = append(np.Layers, layer)
+	}
+	return np
+}

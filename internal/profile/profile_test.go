@@ -1,0 +1,141 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+)
+
+// TestPaperMNISTMatchesPublishedTotals pins the reconstruction against every
+// published constraint.
+func TestPaperMNISTMatchesPublishedTotals(t *testing.T) {
+	p := PaperMNIST()
+	if p.TotalHOPs() != 826 {
+		t.Fatalf("MNIST HOPs %d want 826 (Table VII)", p.TotalHOPs())
+	}
+	if p.TotalKS() != 280 {
+		t.Fatalf("MNIST KS %d want 280 (Table VII)", p.TotalKS())
+	}
+	if p.Layer("Cnv1").HOPs() != 75 {
+		t.Fatalf("Cnv1 HOPs %d want 75 (Table IV)", p.Layer("Cnv1").HOPs())
+	}
+	if p.Layer("Fc1").HOPs() != 325 {
+		t.Fatalf("Fc1 HOPs %d want 325 (Table IV)", p.Layer("Fc1").HOPs())
+	}
+	// Table II module sets.
+	if got := p.Layer("Cnv1").OpModules(); got != "OP1,OP2,OP4" {
+		t.Fatalf("Cnv1 modules %s", got)
+	}
+	if got := p.Layer("Act1").OpModules(); got != "OP3,OP4,OP5" {
+		t.Fatalf("Act1 modules %s", got)
+	}
+	if got := p.Layer("Fc1").OpModules(); got != "OP1,OP2,OP4,OP5" {
+		t.Fatalf("Fc1 modules %s", got)
+	}
+	// Table VI model size: 15.57 MB.
+	mb := float64(p.ModelSizeBytes()) / 1e6
+	if math.Abs(mb-15.57) > 0.2 {
+		t.Fatalf("MNIST model size %.2f MB want ≈15.57", mb)
+	}
+	// Parameters (Table VII): N=2^13, Q=210 bits, λ=128.
+	if p.LogN != 13 || p.L*p.QBits != 210 || p.SecurityBits != 128 {
+		t.Fatal("MNIST parameter row mismatch")
+	}
+}
+
+func TestPaperCIFAR10MatchesPublishedTotals(t *testing.T) {
+	p := PaperCIFAR10()
+	if p.TotalHOPs() != 82730 {
+		t.Fatalf("CIFAR10 HOPs %d want 82730 (Table VI: 82.73e3)", p.TotalHOPs())
+	}
+	if p.TotalKS() != 57000 {
+		t.Fatalf("CIFAR10 KS %d want 57000 (Table VII)", p.TotalKS())
+	}
+	mb := float64(p.ModelSizeBytes()) / 1e6
+	if math.Abs(mb-2471.25) > 5 {
+		t.Fatalf("CIFAR10 model size %.2f MB want ≈2471.25", mb)
+	}
+	if p.LogN != 14 || p.L*p.QBits != 252 || p.SecurityBits != 192 {
+		t.Fatal("CIFAR10 parameter row mismatch")
+	}
+	// Cnv2 dominates the KS load.
+	if p.Layer("Cnv2").Ops[KeySwitch] < p.TotalKS()*3/4 {
+		t.Fatal("Cnv2 must dominate KeySwitch count")
+	}
+}
+
+// TestLevelsFollowRescaleChain: each multiplicative layer drops one level.
+func TestLevelsFollowRescaleChain(t *testing.T) {
+	for _, p := range []*Network{PaperMNIST(), PaperCIFAR10()} {
+		want := 7
+		for i := range p.Layers {
+			if p.Layers[i].Level != want {
+				t.Fatalf("%s/%s level %d want %d", p.Name, p.Layers[i].Name, p.Layers[i].Level, want)
+			}
+			want--
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[ckks.Op]OpClass{
+		ckks.OpCCadd:   CCadd,
+		ckks.OpPCadd:   PCmult,
+		ckks.OpPCmult:  PCmult,
+		ckks.OpCCmult:  CCmult,
+		ckks.OpRescale: Rescale,
+		ckks.OpRelin:   KeySwitch,
+		ckks.OpRotate:  KeySwitch,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Fatalf("ClassOf(%v)=%v want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpClassLabels(t *testing.T) {
+	if CCadd.OpLabel() != "OP1" || KeySwitch.OpLabel() != "OP5" {
+		t.Fatal("OP labels wrong")
+	}
+	if KeySwitch.String() != "KeySwitch" {
+		t.Fatal("String wrong")
+	}
+}
+
+// TestFromRecorderDerivesOurProfile: the derived profile of our functional
+// MNIST network must agree with its recorder totals and mark KS layers.
+func TestFromRecorderDerivesOurProfile(t *testing.T) {
+	net := hecnn.Compile(cnn.NewMNISTNet(), 4096)
+	rec := net.Count(7)
+	p := FromRecorder("ours-MNIST", rec, 13, 7, 30, 128)
+
+	if p.TotalHOPs() != rec.TotalHOPs() {
+		t.Fatalf("HOPs %d != recorder %d", p.TotalHOPs(), rec.TotalHOPs())
+	}
+	if p.TotalKS() != rec.TotalKeySwitches() {
+		t.Fatalf("KS %d != recorder %d", p.TotalKS(), rec.TotalKeySwitches())
+	}
+	if len(p.Layers) != 5 {
+		t.Fatalf("layer count %d", len(p.Layers))
+	}
+	if p.Layer("Cnv1").KS || !p.Layer("Fc1").KS {
+		t.Fatal("KS classification wrong")
+	}
+	if p.Layer("Cnv1").Level != 7 || p.Layer("Fc2").Level != 3 {
+		t.Fatalf("levels: Cnv1=%d Fc2=%d", p.Layer("Cnv1").Level, p.Layer("Fc2").Level)
+	}
+	// Same workload regime as the paper profile (within 2×).
+	paper := PaperMNIST()
+	hr := float64(p.TotalHOPs()) / float64(paper.TotalHOPs())
+	kr := float64(p.TotalKS()) / float64(paper.TotalKS())
+	if hr > 2 || hr < 0.5 || kr > 2 || kr < 0.5 {
+		t.Fatalf("derived profile too far from paper: HOP ratio %.2f, KS ratio %.2f", hr, kr)
+	}
+	if p.PlaintextCount <= 0 {
+		t.Fatal("no plaintexts counted")
+	}
+}

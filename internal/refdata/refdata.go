@@ -1,0 +1,206 @@
+// Package refdata stores the published latencies and platform data of the
+// systems FxHENN compares against. The paper itself compares "w.r.t. the
+// publicly reported data in the literature work" (§VII-B), so carrying
+// these numbers as constants is the same methodology, not a shortcut.
+package refdata
+
+// ParamRow is one dataset's reported workload and encryption parameters in
+// Table VII (zero values mean "not reported", rendered as "-").
+type ParamRow struct {
+	HOP    int
+	KS     int
+	Lambda int // security bits
+	LogN   int
+	LogQ   int
+	// LatencySeconds is the published end-to-end inference latency.
+	LatencySeconds float64
+}
+
+// System is one row of Table VII.
+type System struct {
+	Name     string
+	MNIST    ParamRow
+	CIFAR    ParamRow
+	Platform string
+	TDPWatts float64
+	Scheme   string
+}
+
+// TableVII lists the published end-to-end HE-CNN inference systems
+// (CPU- and GPU-based rows of Table VII).
+var TableVII = []System{
+	{
+		Name:     "CryptoNets",
+		MNIST:    ParamRow{HOP: 215000, KS: 945, LatencySeconds: 205},
+		Platform: "Intel Xeon E5-1620L",
+		TDPWatts: 140,
+		Scheme:   "BFV",
+	},
+	{
+		Name:     "nGraph-HE",
+		MNIST:    ParamRow{Lambda: 128, LogN: 13, LogQ: 210, LatencySeconds: 16.7},
+		CIFAR:    ParamRow{Lambda: 192, LogN: 14, LogQ: 300, LatencySeconds: 1324},
+		Platform: "Xeon Platinum 8180, 112 CPUs",
+		TDPWatts: 205,
+		Scheme:   "CKKS",
+	},
+	{
+		Name:     "EVA",
+		MNIST:    ParamRow{HOP: 10000, KS: 2000, Lambda: 128, LogN: 14, LogQ: 480, LatencySeconds: 121.5},
+		CIFAR:    ParamRow{HOP: 150000, KS: 16000, Lambda: 128, LogN: 16, LogQ: 1225, LatencySeconds: 3062},
+		Platform: "4-socket Intel Xeon Gold 5120",
+		TDPWatts: 420,
+		Scheme:   "CKKS",
+	},
+	{
+		Name:     "LoLa",
+		MNIST:    ParamRow{HOP: 798, KS: 227, Lambda: 128, LogN: 14, LogQ: 440, LatencySeconds: 2.2},
+		CIFAR:    ParamRow{HOP: 123000, KS: 61000, Lambda: 128, LogN: 14, LogQ: 440, LatencySeconds: 730},
+		Platform: "Azure B8ms VM, 8 vCPUs",
+		TDPWatts: 880,
+		Scheme:   "BFV",
+	},
+	{
+		Name:     "Falcon",
+		MNIST:    ParamRow{HOP: 626, KS: 122, Lambda: 128, LogN: 14, LogQ: 440, LatencySeconds: 1.2},
+		CIFAR:    ParamRow{HOP: 21000, KS: 7900, Lambda: 128, LogN: 14, LogQ: 440, LatencySeconds: 107},
+		Platform: "Azure B8ms VM, 8 vCPUs",
+		TDPWatts: 880,
+		Scheme:   "BFV",
+	},
+	{
+		Name:     "AHEC",
+		MNIST:    ParamRow{HOP: 215000, KS: 945, Lambda: 128, LogN: 13, LatencySeconds: 29.17},
+		Platform: "Xeon Platinum 8180, 112 CPUs",
+		TDPWatts: 250,
+		Scheme:   "CKKS",
+	},
+	{
+		Name:     "A*FV",
+		MNIST:    ParamRow{HOP: 47000, Lambda: 82, LogN: 13, LogQ: 330, LatencySeconds: 5.2},
+		CIFAR:    ParamRow{HOP: 7000000, Lambda: 91, LogN: 13, LogQ: 300, LatencySeconds: 553.89},
+		Platform: "3×P100 + 1×V100 GPUs",
+		TDPWatts: 1000,
+		Scheme:   "BFV",
+	},
+}
+
+// PaperFxHENN records the paper's own published FxHENN results, used as the
+// reproduction target in EXPERIMENTS.md.
+var PaperFxHENN = map[string]struct {
+	MNISTSeconds float64
+	CIFARSeconds float64
+}{
+	"ACU15EG": {MNISTSeconds: 0.19, CIFARSeconds: 54.1},
+	"ACU9EG":  {MNISTSeconds: 0.24, CIFARSeconds: 254},
+}
+
+// FPL21Conv holds Table VIII's published single-convolution-layer results
+// (Ye et al., FPL'21: BFV, N=2048, 54-bit q, ResNet-50 layers on 3584
+// DSPs) and the paper's own FxHENN numbers for the same layers.
+var FPL21Conv = []struct {
+	Layer        string
+	N            int
+	QBits        int
+	FPLDSP       int
+	FPLLatencyMs float64
+	// Published FxHENN row for reference.
+	PaperFxHENNDSP int
+	PaperFxHENNMs  float64
+	PaperSpeedup   float64
+}{
+	{Layer: "conv1", N: 2048, QBits: 54, FPLDSP: 3584, FPLLatencyMs: 26.32,
+		PaperFxHENNDSP: 3072, PaperFxHENNMs: 19.95, PaperSpeedup: 1.32},
+	{Layer: "conv2_3", N: 2048, QBits: 54, FPLDSP: 3584, FPLLatencyMs: 12.03,
+		PaperFxHENNDSP: 3072, PaperFxHENNMs: 10.87, PaperSpeedup: 1.11},
+}
+
+// PaperTableIX records the published baseline-vs-FxHENN comparison on
+// FxHENN-MNIST (ACU9EG).
+var PaperTableIX = struct {
+	BaselinePeakDSP, BaselinePeakBRAM float64
+	BaselineSeconds                   float64
+	FxPeakDSP, FxPeakBRAM             float64
+	FxAggDSP, FxAggBRAM               float64
+	FxSeconds                         float64
+}{
+	BaselinePeakDSP: 67.78, BaselinePeakBRAM: 81.25, BaselineSeconds: 1.17,
+	FxPeakDSP: 63.25, FxPeakBRAM: 81.36,
+	FxAggDSP: 136.25, FxAggBRAM: 170.67,
+	FxSeconds: 0.24,
+}
+
+// PaperTableI records Table I's measured module costs on the ACU9EG
+// (percentages of 2520 DSPs / 912 BRAM blocks; latency in ms).
+var PaperTableI = []struct {
+	Op      string
+	NcNTT   int // 0 = not applicable
+	DSPPct  float64
+	BRAMPct float64
+	LatMs   float64
+}{
+	{"CCadd", 0, 0.00, 10.53, 0.25},
+	{"PCmult", 0, 3.97, 10.53, 0.25},
+	{"CCmult", 0, 3.97, 15.79, 0.25},
+	{"Rescale", 2, 4.44, 10.53, 1.19},
+	{"Rescale", 4, 7.30, 10.53, 0.68},
+	{"Rescale", 8, 13.01, 21.05, 0.34},
+	{"KeySwitch", 2, 10.08, 35.09, 3.17},
+	{"KeySwitch", 4, 19.01, 35.09, 1.60},
+	{"KeySwitch", 8, 28.61, 70.18, 0.81},
+}
+
+// PaperTableII records the preliminary per-layer design of Table II
+// (LoLa-MNIST on ACU9EG, nc=2).
+var PaperTableII = []struct {
+	Layer   string
+	Modules string
+	DSPPct  float64
+	BRAMPct float64
+}{
+	{"Cnv1", "OP1,OP2,OP4", 10, 25},
+	{"Act1", "OP3,OP4,OP5", 18, 57},
+	{"Fc1", "OP1,OP2,OP4,OP5", 15, 53},
+	{"Act2", "OP3,OP4,OP5", 12, 39},
+	{"Fc2", "OP1,OP2,OP4,OP5", 10, 32},
+}
+
+// PaperTableIII records the BRAM-vs-latency measurements.
+var PaperTableIII = struct {
+	Cnv1OnchipBlocks int
+	Cnv1OnchipSec    float64
+	Cnv1OffchipSec   float64
+	Fc1OnchipBlocks  int
+	Fc1OnchipSec     float64
+	Fc1OffchipSec    float64
+}{292, 0.021, 0.334, 773, 0.162, 22.612}
+
+// PaperTableIV records the MAC comparison (10^4 units in the paper).
+var PaperTableIV = struct {
+	Cnv1MACs, Fc1MACs     float64 // plain CNN MACs
+	Cnv1HOPs, Fc1HOPs     int
+	Cnv1HEMACs, Fc1HEMACs float64 // "MACs of HOPs"
+}{2.11e4, 8.45e4, 75, 325, 11980.7e4, 155105.28e4}
+
+// PaperTableV records the motivating DSE comparison.
+var PaperTableV = []struct {
+	Config               string
+	Cnv1Intra, Fc1Intra  int
+	Cnv1Sec, Fc1Sec      float64
+	DSPPct, BRAMPct, Sum float64
+}{
+	{"A", 1, 3, 0.062, 0.29, 18.1, 43.9, 0.352},
+	{"B", 4, 1, 0.021, 0.709, 27.9, 49.1, 0.73},
+}
+
+// PaperTableVI records the benchmark network info.
+var PaperTableVI = []struct {
+	Network   string
+	Layers    string
+	HOPsK     float64 // 10^3
+	AccPct    float64
+	ModSizeMB float64
+}{
+	{"FxHENN-MNIST", "Cnv1, Act1, Fc1, Act2, Fc2", 0.83, 98.9, 15.57},
+	{"FxHENN-CIFAR10", "Cnv1, Act1, Cnv2, Act2, Fc2", 82.73, 74.1, 2471.25},
+}

@@ -1,0 +1,90 @@
+package refdata
+
+import "testing"
+
+// TestTableVIIRowsMatchPaper spot-checks the transcription of the published
+// comparison data against the paper's Table VII.
+func TestTableVIIRowsMatchPaper(t *testing.T) {
+	byName := map[string]System{}
+	for _, s := range TableVII {
+		byName[s.Name] = s
+	}
+	if len(TableVII) != 7 {
+		t.Fatalf("expected 7 published systems, got %d", len(TableVII))
+	}
+	lola := byName["LoLa"]
+	if lola.MNIST.LatencySeconds != 2.2 || lola.CIFAR.LatencySeconds != 730 {
+		t.Fatal("LoLa latencies wrong")
+	}
+	if lola.MNIST.HOP != 798 || lola.MNIST.KS != 227 {
+		t.Fatal("LoLa MNIST workload wrong")
+	}
+	if lola.TDPWatts != 880 { // 8 × 110 W
+		t.Fatal("LoLa TDP wrong")
+	}
+	if byName["CryptoNets"].MNIST.LatencySeconds != 205 {
+		t.Fatal("CryptoNets latency wrong")
+	}
+	if byName["Falcon"].MNIST.LatencySeconds != 1.2 || byName["Falcon"].CIFAR.LatencySeconds != 107 {
+		t.Fatal("Falcon latencies wrong")
+	}
+	if byName["A*FV"].CIFAR.LatencySeconds != 553.89 || byName["A*FV"].TDPWatts != 1000 {
+		t.Fatal("A*FV row wrong")
+	}
+	for _, s := range TableVII {
+		if s.Scheme != "BFV" && s.Scheme != "CKKS" {
+			t.Fatalf("%s: odd scheme %q", s.Name, s.Scheme)
+		}
+	}
+}
+
+func TestPaperFxHENNTargets(t *testing.T) {
+	if PaperFxHENN["ACU15EG"].MNISTSeconds != 0.19 || PaperFxHENN["ACU15EG"].CIFARSeconds != 54.1 {
+		t.Fatal("ACU15EG targets wrong")
+	}
+	if PaperFxHENN["ACU9EG"].MNISTSeconds != 0.24 || PaperFxHENN["ACU9EG"].CIFARSeconds != 254 {
+		t.Fatal("ACU9EG targets wrong")
+	}
+}
+
+func TestTableIInternalConsistency(t *testing.T) {
+	if len(PaperTableI) != 9 {
+		t.Fatalf("Table I rows: %d", len(PaperTableI))
+	}
+	// Latency halves (within rounding) as nc doubles for KeySwitch.
+	var ks []float64
+	for _, r := range PaperTableI {
+		if r.Op == "KeySwitch" {
+			ks = append(ks, r.LatMs)
+		}
+	}
+	if len(ks) != 3 || ks[0] <= ks[1] || ks[1] <= ks[2] {
+		t.Fatal("KeySwitch latency not monotone in nc")
+	}
+}
+
+func TestTableIXSpeedup(t *testing.T) {
+	p := PaperTableIX
+	if sp := p.BaselineSeconds / p.FxSeconds; sp < 4.8 || sp > 5.0 {
+		t.Fatalf("paper baseline speedup %.2f not ≈4.88", sp)
+	}
+	if p.FxAggDSP <= p.FxPeakDSP || p.FxAggBRAM <= p.FxPeakBRAM {
+		t.Fatal("paper FxHENN aggregates must exceed peaks (reuse)")
+	}
+}
+
+func TestFPL21Rows(t *testing.T) {
+	if len(FPL21Conv) != 2 {
+		t.Fatal("FPL21 rows")
+	}
+	for _, r := range FPL21Conv {
+		if r.N != 2048 || r.QBits != 54 {
+			t.Fatal("FPL21 params wrong")
+		}
+		gotSpeedup := r.FPLLatencyMs / r.PaperFxHENNMs
+		if diff := gotSpeedup - r.PaperSpeedup; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("%s: published speedup %.2f inconsistent with latencies (%.2f)",
+				r.Layer, r.PaperSpeedup, gotSpeedup)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Headers: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("longer-name", "2.5")
+	t.AddNote("a note with %d args", 2)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	sample().Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Sample\n======") {
+		t.Fatalf("missing title underline:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and rows align: the "value" column starts at the same offset.
+	headerIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if headerIdx != rowIdx {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", headerIdx, rowIdx, out)
+	}
+	if !strings.Contains(out, "note: a note with 2 args") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sample().RenderCSV(&buf)
+	out := buf.String()
+	want := "# Sample\nname,value\nalpha,1\nlonger-name,2.5\n# a note with 2 args\n"
+	if out != want {
+		t.Fatalf("CSV mismatch:\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.004:   "0.0040",
+		1.5:     "1.500",
+		42.25:   "42.2", // banker-free %.1f truncation toward even
+		12345.6: "12346",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Fatalf("F(%g)=%q want %q", v, got, want)
+		}
+	}
+	if Pct(12.345) != "12.35%" {
+		t.Fatalf("Pct wrong: %s", Pct(12.345))
+	}
+	if I(42) != "42" {
+		t.Fatal("I wrong")
+	}
+}
+
+func TestRenderHandlesRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2", "extra")
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	tb.Render(&buf) // must not panic
+	if !strings.Contains(buf.String(), "extra") {
+		t.Fatal("extra cell dropped")
+	}
+}

@@ -1,0 +1,90 @@
+package ring
+
+import (
+	"math"
+	"math/big"
+
+	"fxhenn/internal/modarith"
+)
+
+// BasisExtender performs the fast (floating-point corrected) RNS basis
+// extension of Halevi-Polyakov-Shoup: given the residues of x modulo
+// Q_k = q_0···q_{k-1}, it computes x mod p for an auxiliary prime p without
+// leaving word arithmetic. CKKS keyswitching and modulus raising are built
+// from this primitive.
+type BasisExtender struct {
+	r *Ring
+	p modarith.Modulus
+
+	// Per source level k: qhatInv[k][i] = (Q_k/q_i)^{-1} mod q_i,
+	// qhatModP[k][i] = (Q_k/q_i) mod p, qModP[k] = Q_k mod p.
+	qhatInv  [][]modarith.MulConst
+	qhatModP [][]uint64
+	qModP    []uint64
+}
+
+// NewBasisExtender precomputes extension constants from every prefix basis
+// of r to the prime p.
+func NewBasisExtender(r *Ring, p uint64) *BasisExtender {
+	be := &BasisExtender{
+		r:        r,
+		p:        modarith.NewModulus(p),
+		qhatInv:  make([][]modarith.MulConst, r.MaxLevel()+1),
+		qhatModP: make([][]uint64, r.MaxLevel()+1),
+		qModP:    make([]uint64, r.MaxLevel()+1),
+	}
+	for k := 1; k <= r.MaxLevel(); k++ {
+		Q := r.ModulusAtLevel(k)
+		be.qhatInv[k] = make([]modarith.MulConst, k)
+		be.qhatModP[k] = make([]uint64, k)
+		for i := 0; i < k; i++ {
+			qi := r.Mods[i]
+			// Q_k / q_i mod q_i and mod p, via iterated word reduction.
+			qhatModQi := uint64(1)
+			qhatModP := uint64(1)
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				qhatModQi = qi.Mul(qhatModQi, qi.Reduce(r.Moduli[j]))
+				qhatModP = be.p.Mul(qhatModP, be.p.Reduce(r.Moduli[j]))
+			}
+			be.qhatInv[k][i] = modarith.NewMulConst(qi, qi.Inv(qhatModQi))
+			be.qhatModP[k][i] = qhatModP
+		}
+		be.qModP[k] = new(big.Int).Mod(Q, new(big.Int).SetUint64(p)).Uint64()
+	}
+	return be
+}
+
+// ExtendCoeffs computes, for every coefficient index n, the residue mod p of
+// the centered value represented by the k source rows src[i][n], writing the
+// result into dst (length N). src rows must be in coefficient domain.
+func (be *BasisExtender) ExtendCoeffs(src [][]uint64, dst []uint64) {
+	k := len(src)
+	r := be.r
+	p := be.p
+	qhatInv := be.qhatInv[k]
+	qhatModP := be.qhatModP[k]
+	qModP := be.qModP[k]
+
+	y := make([]uint64, k)
+	for n := 0; n < r.N; n++ {
+		// y_i = [x_i * (Q/q_i)^{-1}]_{q_i}; v estimates the CRT overflow
+		// count round(Σ y_i / q_i) so the result is the residue of the
+		// centered value rather than of x + m·Q for unknown m.
+		vf := 0.0
+		for i := 0; i < k; i++ {
+			y[i] = qhatInv[i].Mul(src[i][n], r.Mods[i])
+			vf += float64(y[i]) / float64(r.Moduli[i])
+		}
+		v := uint64(math.Round(vf))
+		acc := uint64(0)
+		for i := 0; i < k; i++ {
+			acc = p.Add(acc, p.Mul(p.Reduce(y[i]), qhatModP[i]))
+		}
+		// Subtract v * Q mod p.
+		acc = p.Sub(acc, p.Mul(p.Reduce(v), qModP))
+		dst[n] = acc
+	}
+}

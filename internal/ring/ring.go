@@ -1,0 +1,323 @@
+// Package ring implements arithmetic over the RNS-decomposed polynomial ring
+// R_Q = Z_Q[X]/(X^N+1) used by RNS-CKKS (§II-A). A polynomial is stored as L
+// residue polynomials ("RNS polynomials" poly_{q_i} in the paper's notation),
+// one per prime factor q_i of Q, each of which is what the accelerator's
+// basic operation modules (NTT/INTT, ModAdd, ModMult, ...) stream.
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"fxhenn/internal/modarith"
+	"fxhenn/internal/ntt"
+)
+
+// Ring bundles the transform tables and modular contexts for a fixed
+// polynomial degree N and a fixed maximal RNS basis q_0, ..., q_{k-1}.
+// Working polynomials may use any prefix of the basis (their "level").
+type Ring struct {
+	N      int
+	Moduli []uint64
+	Mods   []modarith.Modulus
+	Tables []*ntt.Table
+
+	// rescaleInv[k][j] = q_{k-1}^{-1} mod q_j for j < k-1, used by
+	// DivRoundByLastModulus (the Rescale basic step).
+	rescaleInv [][]modarith.MulConst
+	// halfLast[k] = floor(q_{k-1} / 2), the centering threshold.
+	halfLast []uint64
+	// lastModRed[k][j] = q_{k-1} mod q_j.
+	lastModRed [][]uint64
+}
+
+// NewRing constructs a ring of degree n over the given NTT-friendly prime
+// moduli. n must be a power of two ≥ 2 and every modulus must satisfy
+// q ≡ 1 (mod 2n); violations panic inside the NTT table construction.
+func NewRing(n int, moduli []uint64) *Ring {
+	if len(moduli) == 0 {
+		panic("ring: empty modulus chain")
+	}
+	seen := map[uint64]bool{}
+	r := &Ring{N: n, Moduli: append([]uint64(nil), moduli...)}
+	for _, q := range moduli {
+		if seen[q] {
+			panic(fmt.Sprintf("ring: duplicate modulus %d", q))
+		}
+		seen[q] = true
+		r.Mods = append(r.Mods, modarith.NewModulus(q))
+		r.Tables = append(r.Tables, ntt.NewTable(n, q))
+	}
+	k := len(moduli)
+	r.rescaleInv = make([][]modarith.MulConst, k+1)
+	r.lastModRed = make([][]uint64, k+1)
+	r.halfLast = make([]uint64, k+1)
+	for lvl := 2; lvl <= k; lvl++ {
+		last := moduli[lvl-1]
+		r.halfLast[lvl] = last >> 1
+		invs := make([]modarith.MulConst, lvl-1)
+		reds := make([]uint64, lvl-1)
+		for j := 0; j < lvl-1; j++ {
+			invs[j] = modarith.NewMulConst(r.Mods[j], r.Mods[j].Inv(r.Mods[j].Reduce(last)))
+			reds[j] = r.Mods[j].Reduce(last)
+		}
+		r.rescaleInv[lvl] = invs
+		r.lastModRed[lvl] = reds
+	}
+	return r
+}
+
+// MaxLevel returns the number of moduli in the full basis.
+func (r *Ring) MaxLevel() int { return len(r.Moduli) }
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j modulo q_i.
+// The number of residue rows is the polynomial's level count; whether the
+// rows are in coefficient or NTT domain is tracked by the caller (the ckks
+// package), not here.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial with k residue rows.
+func (r *Ring) NewPoly(k int) *Poly {
+	if k < 1 || k > len(r.Moduli) {
+		panic(fmt.Sprintf("ring: level count %d out of range [1,%d]", k, len(r.Moduli)))
+	}
+	c := make([][]uint64, k)
+	for i := range c {
+		c[i] = make([]uint64, r.N)
+	}
+	return &Poly{Coeffs: c}
+}
+
+// K returns the number of residue rows (active RNS components).
+func (p *Poly) K() int { return len(p.Coeffs) }
+
+// Copy returns a deep copy of p.
+func (p *Poly) Copy() *Poly {
+	c := make([][]uint64, len(p.Coeffs))
+	for i := range c {
+		c[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return &Poly{Coeffs: c}
+}
+
+// CopyInto copies p's rows into out, which must have the same shape.
+func (p *Poly) CopyInto(out *Poly) {
+	if out.K() != p.K() {
+		panic("ring: CopyInto level mismatch")
+	}
+	for i := range p.Coeffs {
+		copy(out.Coeffs[i], p.Coeffs[i])
+	}
+}
+
+// DropLast removes the last n residue rows in place.
+func (p *Poly) DropLast(n int) {
+	if n >= p.K() {
+		panic("ring: cannot drop all residue rows")
+	}
+	p.Coeffs = p.Coeffs[:p.K()-n]
+}
+
+func (r *Ring) checkSameK(ps ...*Poly) int {
+	k := ps[0].K()
+	for _, p := range ps {
+		if p.K() != k {
+			panic("ring: operand level mismatch")
+		}
+		if len(p.Coeffs[0]) != r.N {
+			panic("ring: operand degree mismatch")
+		}
+	}
+	return k
+}
+
+// Add computes out = a + b componentwise (same levels required).
+func (r *Ring) Add(out, a, b *Poly) {
+	k := r.checkSameK(out, a, b)
+	for i := 0; i < k; i++ {
+		r.Mods[i].AddVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// Sub computes out = a - b.
+func (r *Ring) Sub(out, a, b *Poly) {
+	k := r.checkSameK(out, a, b)
+	for i := 0; i < k; i++ {
+		r.Mods[i].SubVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// Neg computes out = -a.
+func (r *Ring) Neg(out, a *Poly) {
+	k := r.checkSameK(out, a)
+	for i := 0; i < k; i++ {
+		r.Mods[i].NegVec(out.Coeffs[i], a.Coeffs[i])
+	}
+}
+
+// MulCoeffs computes out = a ⊙ b, the pointwise product. In the NTT domain
+// this is negacyclic polynomial multiplication.
+func (r *Ring) MulCoeffs(out, a, b *Poly) {
+	k := r.checkSameK(out, a, b)
+	for i := 0; i < k; i++ {
+		r.Mods[i].MulVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// MulCoeffsAdd computes out += a ⊙ b, the HE-MAC kernel of the accelerator.
+func (r *Ring) MulCoeffsAdd(out, a, b *Poly) {
+	k := r.checkSameK(out, a, b)
+	for i := 0; i < k; i++ {
+		r.Mods[i].MulAddVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// MulScalar computes out = s * a for a word scalar s.
+func (r *Ring) MulScalar(out, a *Poly, s uint64) {
+	k := r.checkSameK(out, a)
+	for i := 0; i < k; i++ {
+		r.Mods[i].ScalarMulVec(out.Coeffs[i], a.Coeffs[i], r.Mods[i].Reduce(s))
+	}
+}
+
+// NTT transforms every residue row of p to the evaluation domain in place.
+func (r *Ring) NTT(p *Poly) {
+	for i := range p.Coeffs {
+		r.Tables[i].Forward(p.Coeffs[i])
+	}
+}
+
+// INTT transforms every residue row of p back to coefficient domain in place.
+func (r *Ring) INTT(p *Poly) {
+	for i := range p.Coeffs {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	}
+}
+
+// DivRoundByLastModulus implements the RNS Rescale basic step: it divides the
+// coefficient-domain polynomial by its last modulus q_{k-1} with centered
+// rounding and drops that residue row. This is also the ModDown step that
+// ends a KeySwitch (dividing by the special modulus).
+func (r *Ring) DivRoundByLastModulus(p *Poly) {
+	k := p.K()
+	if k < 2 {
+		panic("ring: cannot rescale a level-1 polynomial")
+	}
+	last := p.Coeffs[k-1]
+	half := r.halfLast[k]
+	for j := 0; j < k-1; j++ {
+		mj := r.Mods[j]
+		inv := r.rescaleInv[k][j]
+		qlRed := r.lastModRed[k][j]
+		row := p.Coeffs[j]
+		for n := 0; n < r.N; n++ {
+			// Centered lift of the last residue into Z_{q_j}.
+			rep := mj.Reduce(last[n])
+			if last[n] > half {
+				rep = mj.Sub(rep, qlRed)
+				// The centered representative is last[n] - q_last; its
+				// residue mod q_j is rep - q_last mod q_j.
+			}
+			row[n] = inv.Mul(mj.Sub(row[n], rep), mj)
+		}
+	}
+	p.DropLast(1)
+}
+
+// Automorphism applies the Galois map X -> X^g to the coefficient-domain
+// polynomial a, writing into out (distinct from a). g must be odd so the map
+// is an automorphism of Z[X]/(X^N+1).
+func (r *Ring) Automorphism(out, a *Poly, g uint64) {
+	if out == a {
+		panic("ring: Automorphism requires out != a")
+	}
+	k := r.checkSameK(out, a)
+	if g%2 == 0 {
+		panic("ring: automorphism exponent must be odd")
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := 0; i < k; i++ {
+		m := r.Mods[i]
+		src := a.Coeffs[i]
+		dst := out.Coeffs[i]
+		idx := uint64(0)
+		for j := uint64(0); j < n; j++ {
+			// X^j -> X^(j*g mod 2N); exponents ≥ N wrap with a sign flip
+			// because X^N = -1.
+			if idx < n {
+				dst[idx] = src[j]
+			} else {
+				dst[idx-n] = m.Neg(src[j])
+			}
+			idx = (idx + g) & mask
+		}
+	}
+}
+
+// ComposeCoeff reconstructs coefficient j of the coefficient-domain poly p as
+// a centered big integer in (-Q_k/2, Q_k/2] via the CRT. Used by tests, the
+// encoder, and decryption.
+func (r *Ring) ComposeCoeff(p *Poly, j int) *big.Int {
+	k := p.K()
+	q := r.ModulusAtLevel(k)
+	x := new(big.Int)
+	tmp := new(big.Int)
+	for i := 0; i < k; i++ {
+		// x += c_i * (Q/q_i) * [(Q/q_i)^-1 mod q_i]
+		qi := new(big.Int).SetUint64(r.Moduli[i])
+		qhat := new(big.Int).Div(q, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qhat, qi), qi)
+		tmp.SetUint64(p.Coeffs[i][j])
+		tmp.Mul(tmp, inv)
+		tmp.Mod(tmp, qi)
+		tmp.Mul(tmp, qhat)
+		x.Add(x, tmp)
+	}
+	x.Mod(x, q)
+	half := new(big.Int).Rsh(q, 1)
+	if x.Cmp(half) > 0 {
+		x.Sub(x, q)
+	}
+	return x
+}
+
+// SetCoeffBig sets coefficient j of p to the residues of the (possibly
+// negative) big integer v.
+func (r *Ring) SetCoeffBig(p *Poly, j int, v *big.Int) {
+	tmp := new(big.Int)
+	for i := 0; i < p.K(); i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i])
+		tmp.Mod(v, qi)
+		if tmp.Sign() < 0 {
+			tmp.Add(tmp, qi)
+		}
+		p.Coeffs[i][j] = tmp.Uint64()
+	}
+}
+
+// ModulusAtLevel returns Q_k = q_0 * ... * q_{k-1} as a big integer.
+func (r *Ring) ModulusAtLevel(k int) *big.Int {
+	q := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		q.Mul(q, new(big.Int).SetUint64(r.Moduli[i]))
+	}
+	return q
+}
+
+// Equal reports whether two polynomials have identical levels and residues.
+func (r *Ring) Equal(a, b *Poly) bool {
+	if a.K() != b.K() {
+		return false
+	}
+	for i := range a.Coeffs {
+		for j := range a.Coeffs[i] {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

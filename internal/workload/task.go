@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fxhenn/internal/cnn"
+)
+
+// Synthetic labeled task: "which quadrant holds the blob". A single
+// Gaussian blob is placed in one of the four quadrants of the image; the
+// label is the quadrant index. The task is easily learnable by the tiny
+// HE-friendly networks, giving the reproduction a *trained* model whose
+// accuracy the encrypted pipeline must preserve — the substitute for the
+// paper's quoted LoLa accuracies (see DESIGN.md §1).
+
+// QuadrantClasses is the label count of the synthetic task.
+const QuadrantClasses = 4
+
+// QuadrantSample generates one labeled image of shape (c, h, w).
+func QuadrantSample(c, h, w int, seed int64) cnn.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	label := rng.Intn(QuadrantClasses)
+	img := cnn.NewTensor(c, h, w)
+
+	// Blob center inside the labeled quadrant (with a margin).
+	qy := label / 2
+	qx := label % 2
+	cy := float64(qy)*float64(h)/2 + float64(h)/8 + rng.Float64()*float64(h)/4
+	cx := float64(qx)*float64(w)/2 + float64(w)/8 + rng.Float64()*float64(w)/4
+	sigma := 0.8 + rng.Float64()*0.6
+
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+				v := math.Exp(-d2 / (2 * sigma * sigma))
+				// Mild background noise keeps the task from being trivial.
+				v += 0.05 * rng.Float64()
+				img.Set(ch, y, x, v)
+			}
+		}
+	}
+	return cnn.Sample{Image: img, Label: label}
+}
+
+// QuadrantDataset generates n labeled samples.
+func QuadrantDataset(c, h, w, n int, seed int64) []cnn.Sample {
+	out := make([]cnn.Sample, n)
+	for i := range out {
+		out[i] = QuadrantSample(c, h, w, seed+int64(i)*104729)
+	}
+	return out
+}

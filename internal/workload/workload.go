@@ -1,0 +1,120 @@
+// Package workload generates the synthetic evaluation inputs that stand in
+// for the MNIST/CIFAR-10 datasets (see DESIGN.md §1): deterministic,
+// structured images — oriented strokes and Gaussian blobs rather than white
+// noise, so convolutions see realistic spatial correlation — plus batch
+// helpers measuring the agreement between encrypted and plaintext
+// inference, the reproduction's substitute for the accuracy column the
+// paper quotes from LoLa.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+)
+
+// Image synthesizes a structured (c, h, w) image: a couple of anti-aliased
+// strokes plus a Gaussian blob per channel, normalized to [0, 1].
+func Image(c, h, w int, seed int64) *cnn.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	img := cnn.NewTensor(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		// Gaussian blob.
+		cx := rng.Float64() * float64(w)
+		cy := rng.Float64() * float64(h)
+		sigma := 1 + rng.Float64()*float64(h)/4
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+				img.Set(ch, y, x, 0.6*math.Exp(-d2/(2*sigma*sigma)))
+			}
+		}
+		// Two strokes: lines y = a·x + b with soft falloff.
+		for s := 0; s < 2; s++ {
+			a := math.Tan((rng.Float64() - 0.5) * math.Pi * 0.8)
+			b := rng.Float64() * float64(h)
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					dist := math.Abs(float64(y)-a*float64(x)-b) / math.Sqrt(1+a*a)
+					v := img.At(ch, y, x) + 0.8*math.Exp(-dist*dist)
+					img.Set(ch, y, x, v)
+				}
+			}
+		}
+		// Normalize the channel to [0, 1].
+		maxv := 0.0
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if v := img.At(ch, y, x); v > maxv {
+					maxv = v
+				}
+			}
+		}
+		if maxv > 0 {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					img.Set(ch, y, x, img.At(ch, y, x)/maxv)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// Batch generates n structured images for a network's input shape.
+func Batch(net *cnn.Network, n int, seed int64) []*cnn.Tensor {
+	out := make([]*cnn.Tensor, n)
+	for i := range out {
+		out[i] = Image(net.InC, net.InH, net.InW, seed+int64(i)*7919)
+	}
+	return out
+}
+
+// AgreementReport summarizes encrypted-vs-plaintext fidelity over a batch.
+type AgreementReport struct {
+	Images        int
+	ArgmaxMatches int
+	MaxAbsError   float64
+	MeanAbsError  float64
+}
+
+// AgreementRate returns the fraction of images whose encrypted argmax
+// matches the plaintext argmax.
+func (r AgreementReport) AgreementRate() float64 {
+	if r.Images == 0 {
+		return 0
+	}
+	return float64(r.ArgmaxMatches) / float64(r.Images)
+}
+
+// EvaluateAgreement runs every image through both plaintext and encrypted
+// inference and reports the fidelity. This is the reproduction's stand-in
+// for dataset accuracy: with synthetic weights the absolute accuracy is
+// meaningless, but the encrypted pipeline must agree with the plaintext
+// network it implements.
+func EvaluateAgreement(pnet *cnn.Network, henet *hecnn.Network, ctx *hecnn.Context, images []*cnn.Tensor) AgreementReport {
+	r := AgreementReport{Images: len(images)}
+	var totalErr float64
+	var count int
+	for _, img := range images {
+		want := pnet.Infer(img)
+		got, _ := henet.Run(ctx, img)
+		if cnn.Argmax(got) == cnn.Argmax(want) {
+			r.ArgmaxMatches++
+		}
+		for i := range want {
+			e := math.Abs(got[i] - want[i])
+			totalErr += e
+			count++
+			if e > r.MaxAbsError {
+				r.MaxAbsError = e
+			}
+		}
+	}
+	if count > 0 {
+		r.MeanAbsError = totalErr / float64(count)
+	}
+	return r
+}

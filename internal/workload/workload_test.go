@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+)
+
+func TestImageProperties(t *testing.T) {
+	img := Image(3, 32, 32, 1)
+	if img.C != 3 || img.H != 32 || img.W != 32 {
+		t.Fatal("shape wrong")
+	}
+	maxv, minv, sum := 0.0, 1.0, 0.0
+	for _, v := range img.Data {
+		if v > maxv {
+			maxv = v
+		}
+		if v < minv {
+			minv = v
+		}
+		sum += v
+	}
+	if maxv > 1.0001 || minv < 0 {
+		t.Fatalf("values outside [0,1]: [%g, %g]", minv, maxv)
+	}
+	if maxv < 0.99 {
+		t.Fatalf("channel not normalized: max %g", maxv)
+	}
+	// Structured, not constant and not saturated.
+	mean := sum / float64(len(img.Data))
+	if mean < 0.02 || mean > 0.9 {
+		t.Fatalf("implausible mean %g", mean)
+	}
+}
+
+func TestImageDeterministicAndSeedSensitive(t *testing.T) {
+	a := Image(1, 16, 16, 5)
+	b := Image(1, 16, 16, 5)
+	c := Image(1, 16, 16, 6)
+	same, diff := true, false
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+		}
+		if a.Data[i] != c.Data[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different images")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	net := cnn.NewTinyNet()
+	batch := Batch(net, 4, 10)
+	if len(batch) != 4 {
+		t.Fatal("batch size wrong")
+	}
+	for _, img := range batch {
+		if img.C != net.InC || img.H != net.InH || img.W != net.InW {
+			t.Fatal("batch image shape wrong")
+		}
+	}
+}
+
+// TestEvaluateAgreement is the accuracy-substitute integration test: over a
+// batch of structured images, the encrypted pipeline must agree with the
+// plaintext network on every argmax and keep tiny logit errors.
+func TestEvaluateAgreement(t *testing.T) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(42)
+	henet := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 43, henet.RotationsNeeded(params.MaxLevel()))
+
+	batch := Batch(pnet, 5, 99)
+	r := EvaluateAgreement(pnet, henet, ctx, batch)
+	if r.Images != 5 {
+		t.Fatalf("images %d", r.Images)
+	}
+	if r.AgreementRate() != 1.0 {
+		t.Fatalf("agreement %.2f — encrypted argmax diverged", r.AgreementRate())
+	}
+	if r.MaxAbsError > 1e-2 {
+		t.Fatalf("max error %g", r.MaxAbsError)
+	}
+	if r.MeanAbsError <= 0 || r.MeanAbsError > r.MaxAbsError {
+		t.Fatalf("mean error %g inconsistent with max %g", r.MeanAbsError, r.MaxAbsError)
+	}
+}
+
+func TestAgreementRateEmpty(t *testing.T) {
+	if (AgreementReport{}).AgreementRate() != 0 {
+		t.Fatal("empty report rate")
+	}
+}
+
+// TestTrainedModelEncryptedAccuracy is the accuracy-preservation test: a
+// network trained to high accuracy on the synthetic quadrant task must keep
+// that accuracy when evaluated under encryption.
+func TestTrainedModelEncryptedAccuracy(t *testing.T) {
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(5)
+	train := QuadrantDataset(1, 8, 8, 200, 1)
+	test := QuadrantDataset(1, 8, 8, 20, 99991)
+	if _, err := pnet.Train(train, cnn.TrainConfig{
+		Epochs: 10, LearningRate: 0.01, Seed: 7, LogitScale: 0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plainAcc := pnet.Accuracy(test)
+	if plainAcc < 0.9 {
+		t.Fatalf("plaintext training failed: accuracy %.2f", plainAcc)
+	}
+
+	params := ckks.NewParameters(8, 30, 7, 45)
+	henet := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 55, henet.RotationsNeeded(params.MaxLevel()))
+
+	correct := 0
+	for _, s := range test {
+		logits, _ := henet.Run(ctx, s.Image)
+		if cnn.Argmax(logits) == s.Label {
+			correct++
+		}
+	}
+	encAcc := float64(correct) / float64(len(test))
+	if encAcc != plainAcc {
+		t.Fatalf("encrypted accuracy %.2f != plaintext %.2f — precision loss flipped predictions", encAcc, plainAcc)
+	}
+}
+
+func TestQuadrantDataset(t *testing.T) {
+	ds := QuadrantDataset(1, 8, 8, 40, 3)
+	counts := map[int]int{}
+	for _, s := range ds {
+		if s.Label < 0 || s.Label >= QuadrantClasses {
+			t.Fatalf("bad label %d", s.Label)
+		}
+		counts[s.Label]++
+		// The blob quadrant must hold the largest pixel.
+		best, bi := 0.0, 0
+		for i, v := range s.Image.Data {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		y, x := bi/8, bi%8
+		q := (y/4)*2 + x/4
+		if q != s.Label {
+			t.Fatalf("brightest pixel in quadrant %d but label %d", q, s.Label)
+		}
+	}
+	if len(counts) != QuadrantClasses {
+		t.Fatalf("only %d classes in sample", len(counts))
+	}
+}
