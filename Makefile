@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the serving-layer gate: static checks plus the fault-injection
+# and protocol suites under the race detector. Run it before touching
+# internal/mlaas, internal/faultnet, or the wire format.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/...
+
+# race runs the whole tree under the race detector (slower than verify).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@ package fxhenn
 // and use cmd/experiments to print the actual tables.
 
 import (
+	"context"
 	"io"
 	"net"
 	"testing"
@@ -237,7 +238,7 @@ func BenchmarkMLaaSInference(b *testing.B) {
 			defer srvConn.Close()
 			server.Handle(srvConn)
 		}()
-		if _, err := client.Infer(cliConn, img); err != nil {
+		if _, err := client.Infer(context.Background(), cliConn, img); err != nil {
 			b.Fatal(err)
 		}
 		cliConn.Close()
@@ -256,7 +257,10 @@ func BenchmarkBatchAgreement(b *testing.B) {
 	batch := workload.Batch(pnet, 2, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := workload.EvaluateAgreement(pnet, henet, ctx, batch)
+		r, err := workload.EvaluateAgreement(pnet, henet, ctx, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.AgreementRate() != 1 {
 			b.Fatal("agreement lost")
 		}

@@ -94,7 +94,11 @@ func main() {
 
 	if *batch > 0 {
 		fmt.Printf("\nbatch agreement over %d structured images...\n", *batch)
-		r := workload.EvaluateAgreement(pnet, net, ctx, workload.Batch(pnet, *batch, *seed+1000))
+		r, err := workload.EvaluateAgreement(pnet, net, ctx, workload.Batch(pnet, *batch, *seed+1000))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "FAILED:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("argmax agreement: %d/%d (%.0f%%), max |error| %.2g, mean %.2g\n",
 			r.ArgmaxMatches, r.Images, 100*r.AgreementRate(), r.MaxAbsError, r.MeanAbsError)
 		if r.AgreementRate() < 1 {

@@ -1,0 +1,150 @@
+// Command mlaas-server runs the hardened MLaaS inference server on a TCP
+// listener with flag-configurable limits: concurrency slots, per-I/O
+// deadlines, and a total per-request budget. SIGINT/SIGTERM triggers a
+// graceful drain — in-flight inferences complete, new connections are
+// refused with a typed shutting-down status, and the drop count is
+// reported if the drain deadline expires.
+//
+// The reproduction keeps key generation in-process (the demo client and
+// server share a key ceremony at startup), so -demo N serves N local
+// client inferences and then drains; without -demo the server runs until
+// a signal arrives.
+//
+// Usage:
+//
+//	mlaas-server -addr 127.0.0.1:7100 -max-concurrent 4
+//	mlaas-server -demo 3 -io-timeout 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/mlaas"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	netName := flag.String("net", "tiny", "network: tiny, tinyconv or mnist")
+	seed := flag.Int64("seed", 1, "weight/key seed")
+	maxConcurrent := flag.Int("max-concurrent", 4, "evaluation slots before requests are refused busy")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "rolling per-read/write deadline")
+	requestBudget := flag.Duration("request-budget", 2*time.Minute, "total wall-clock budget per request")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	demo := flag.Int("demo", 0, "serve N in-process demo inferences, then drain and exit")
+	flag.Parse()
+
+	var (
+		pnet   *cnn.Network
+		params ckks.Parameters
+	)
+	switch *netName {
+	case "tiny":
+		pnet = cnn.NewTinyNet()
+		params = ckks.NewParameters(8, 30, 7, 45)
+	case "tinyconv":
+		pnet = cnn.NewTinyConvNet()
+		params = ckks.NewParameters(8, 30, 7, 45)
+	case "mnist":
+		pnet = cnn.NewMNISTNet()
+		params = ckks.ParamsMNIST()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+	pnet.InitWeights(*seed)
+	henet := hecnn.Compile(pnet, params.Slots())
+
+	// Key ceremony: the secret key stays with the client role; the server
+	// receives only evaluation keys.
+	kg := ckks.NewKeyGenerator(params, *seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
+
+	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
+		MaxConcurrent: *maxConcurrent,
+		IOTimeout:     *ioTimeout,
+		RequestBudget: *requestBudget,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mlaas-server: %s on %s (slots=%d io-timeout=%v budget=%v)\n",
+		pnet.Name, l.Addr(), *maxConcurrent, *ioTimeout, *requestBudget)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(l) }()
+
+	if *demo > 0 {
+		runDemo(params, pnet, henet, pk, sk, l.Addr().String(), *demo)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		select {
+		case s := <-sig:
+			fmt.Printf("mlaas-server: received %v, draining\n", s)
+		case err := <-serveErr:
+			fmt.Fprintf(os.Stderr, "mlaas-server: serve failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		st := server.Stats()
+		fmt.Fprintf(os.Stderr, "mlaas-server: drain incomplete: %v (dropped=%d)\n", err, st.Dropped)
+		os.Exit(1)
+	}
+	st := server.Stats()
+	fmt.Printf("mlaas-server: drained; served=%d rejected=%d bad=%d panics=%d dropped=%d\n",
+		st.Served, st.Rejected, st.BadRequests, st.Panics, st.Dropped)
+}
+
+// runDemo plays the client role against the live server: encrypt, ship,
+// decrypt, compare to plaintext inference, retrying through transient
+// refusals with the backoff policy.
+func runDemo(params ckks.Parameters, pnet *cnn.Network, henet *hecnn.Network,
+	pk *ckks.PublicKey, sk *ckks.SecretKey, addr string, n int) {
+	client := mlaas.NewClient(params, henet, pk, sk, 2)
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	for i := 0; i < n; i++ {
+		img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		for j := range img.Data {
+			img.Data[j] = rng.Float64()
+		}
+		want := pnet.Infer(img)
+
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		start := time.Now()
+		got, err := client.InferRetry(ctx, dial, img, mlaas.RetryPolicy{Seed: int64(i)})
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "demo inference %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("demo inference %d: %v, class %d (plaintext %d)\n",
+			i, time.Since(start).Round(time.Millisecond), cnn.Argmax(got), cnn.Argmax(want))
+	}
+	fmt.Printf("demo traffic: %d bytes sent, %d received, %d retries\n",
+		client.BytesSent, client.BytesReceived, client.Retries)
+}

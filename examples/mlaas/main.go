@@ -2,11 +2,14 @@
 // over TCP on localhost: a client encrypts its image locally and ships only
 // ciphertexts; the server — holding the model weights and evaluation keys
 // but never the secret key — computes the CNN homomorphically and returns
-// encrypted logits; the client decrypts. It also reports the ciphertext
-// traffic expansion that motivates hardware acceleration.
+// encrypted logits; the client decrypts. It also exercises the production
+// serving layer: concurrency limits with typed busy refusals, backoff
+// retries on the client, and a graceful drain at the end, plus the
+// ciphertext traffic expansion report that motivates hardware acceleration.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -35,14 +38,22 @@ func main() {
 	rlk := kg.GenRelinearizationKey(sk)
 	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
 
-	server := mlaas.NewServer(params, henet, rlk, rtk)
+	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
+		MaxConcurrent: 2,
+		IOTimeout:     10 * time.Second,
+		RequestBudget: time.Minute,
+	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
-	defer l.Close()
 	go server.Serve(l) //nolint:errcheck
-	fmt.Printf("server listening on %s (holds weights + eval keys, no secret key)\n", l.Addr())
+	fmt.Printf("server listening on %s (holds weights + eval keys, no secret key; 2 concurrent slots)\n", l.Addr())
+
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", l.Addr().String())
+	}
 
 	client := mlaas.NewClient(params, henet, pk, sk, 2)
 	for i := 0; i < 3; i++ {
@@ -53,13 +64,12 @@ func main() {
 		}
 		want := pnet.Infer(img)
 
-		conn, err := net.Dial("tcp", l.Addr().String())
-		if err != nil {
-			panic(err)
-		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		start := time.Now()
-		got, err := client.Infer(conn, img)
-		conn.Close()
+		// InferRetry re-dials with capped exponential backoff on busy
+		// refusals and pre-response transport failures.
+		got, err := client.InferRetry(ctx, dial, img, mlaas.RetryPolicy{Seed: int64(i)})
+		cancel()
 		if err != nil {
 			panic(err)
 		}
@@ -75,8 +85,18 @@ func main() {
 	}
 
 	raw := int64(8 * 8 * 8) // the image in cleartext float64s
-	fmt.Printf("\ntraffic: %d bytes sent, %d received for %d inferences\n",
-		client.BytesSent, client.BytesReceived, server.Served())
+	fmt.Printf("\ntraffic: %d bytes sent, %d received for %d inferences (%d retries)\n",
+		client.BytesSent, client.BytesReceived, server.Served(), client.Retries)
 	fmt.Printf("ciphertext expansion vs raw image: %dX (the paper's storage-overhead motivation)\n",
 		client.BytesSent/(3*raw))
+
+	// Graceful drain: stop admitting, let in-flight work finish, close.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutCtx); err != nil {
+		panic(err)
+	}
+	st := server.Stats()
+	fmt.Printf("drained: served=%d rejected=%d bad=%d panics=%d dropped=%d\n",
+		st.Served, st.Rejected, st.BadRequests, st.Panics, st.Dropped)
 }

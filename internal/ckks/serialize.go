@@ -3,12 +3,20 @@ package ckks
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"fxhenn/internal/ring"
 )
+
+// ErrMalformed marks deserialization failures caused by the byte stream
+// itself (bad tag, implausible header fields, inconsistent structure) as
+// opposed to transport errors. Callers such as the MLaaS server use
+// errors.Is(err, ErrMalformed) to map corrupt client data to a
+// bad-request status instead of an internal error.
+var ErrMalformed = errors.New("malformed serialized data")
 
 // Binary serialization of CKKS elements and key material, used by the
 // MLaaS protocol (client encrypts and ships ciphertexts; the server holds
@@ -53,30 +61,37 @@ func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
 		return nil, err
 	}
 	if hdr[0] != tagCiphertext {
-		return nil, fmt.Errorf("ckks: bad ciphertext tag 0x%02x", hdr[0])
+		return nil, fmt.Errorf("ckks: %w: bad ciphertext tag 0x%02x", ErrMalformed, hdr[0])
 	}
 	parts := int(hdr[1])
 	if parts < 1 || parts > maxSerializedParts {
-		return nil, fmt.Errorf("ckks: implausible ciphertext degree %d", parts)
+		return nil, fmt.Errorf("ckks: %w: implausible ciphertext degree %d", ErrMalformed, parts)
 	}
 	ct := &Ciphertext{Scale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[2:]))}
-	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
-		return nil, fmt.Errorf("ckks: implausible ciphertext scale %g", ct.Scale)
+	// The scale of any ciphertext a correct peer produces lies between 1
+	// (fully rescaled) and the squared encoding scale (transiently, after a
+	// multiplication before rescale); anything outside is corrupt bytes.
+	if ct.Scale < 1 || ct.Scale > math.Exp2(float64(4*params.QBits)) ||
+		math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
+		return nil, fmt.Errorf("ckks: %w: implausible ciphertext scale %g", ErrMalformed, ct.Scale)
 	}
+	// Every structural bound is checked before the corresponding
+	// allocation: ring.ReadPoly caps the RNS row count and degree from the
+	// header before allocating rows, and the cross-part level check runs
+	// as each part arrives, so a stream whose parts disagree is rejected
+	// without reading (or allocating) the remainder.
 	for i := 0; i < parts; i++ {
 		p, err := ring.ReadPoly(r, params.L, params.N())
 		if err != nil {
 			return nil, err
 		}
 		if len(p.Coeffs[0]) != params.N() {
-			return nil, fmt.Errorf("ckks: degree mismatch %d != %d", len(p.Coeffs[0]), params.N())
+			return nil, fmt.Errorf("ckks: %w: ring degree mismatch %d != %d", ErrMalformed, len(p.Coeffs[0]), params.N())
+		}
+		if i > 0 && p.K() != ct.Value[0].K() {
+			return nil, fmt.Errorf("ckks: %w: inconsistent ciphertext levels %d != %d", ErrMalformed, p.K(), ct.Value[0].K())
 		}
 		ct.Value = append(ct.Value, p)
-	}
-	for _, p := range ct.Value[1:] {
-		if p.K() != ct.Value[0].K() {
-			return nil, fmt.Errorf("ckks: inconsistent ciphertext levels")
-		}
 	}
 	return ct, nil
 }
@@ -123,7 +138,7 @@ func ReadPlaintext(r io.Reader, params Parameters) (*Plaintext, error) {
 		return nil, err
 	}
 	if hdr[0] != tagPlaintext {
-		return nil, fmt.Errorf("ckks: bad plaintext tag 0x%02x", hdr[0])
+		return nil, fmt.Errorf("ckks: %w: bad plaintext tag 0x%02x", ErrMalformed, hdr[0])
 	}
 	pt := &Plaintext{
 		Scale: math.Float64frombits(binary.LittleEndian.Uint64(hdr[1:])),
@@ -159,7 +174,7 @@ func ReadPublicKey(r io.Reader, params Parameters) (*PublicKey, error) {
 		return nil, err
 	}
 	if tag[0] != tagPublicKey {
-		return nil, fmt.Errorf("ckks: bad public key tag 0x%02x", tag[0])
+		return nil, fmt.Errorf("ckks: %w: bad public key tag 0x%02x", ErrMalformed, tag[0])
 	}
 	b, err := ring.ReadPoly(r, params.L, params.N())
 	if err != nil {
@@ -201,11 +216,11 @@ func ReadSwitchingKey(r io.Reader, params Parameters) (*SwitchingKey, error) {
 		return nil, err
 	}
 	if hdr[0] != tagSwitchKey {
-		return nil, fmt.Errorf("ckks: bad switching key tag 0x%02x", hdr[0])
+		return nil, fmt.Errorf("ckks: %w: bad switching key tag 0x%02x", ErrMalformed, hdr[0])
 	}
 	digits := int(hdr[1])
 	if digits < 1 || digits > params.L {
-		return nil, fmt.Errorf("ckks: implausible digit count %d", digits)
+		return nil, fmt.Errorf("ckks: %w: implausible digit count %d", ErrMalformed, digits)
 	}
 	swk := &SwitchingKey{}
 	full := params.L + 1

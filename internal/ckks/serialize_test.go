@@ -2,6 +2,9 @@ package ckks
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -149,6 +152,60 @@ func TestDeserializationRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
 		t.Fatal("NaN scale accepted")
+	}
+}
+
+// TestMalformedStreamsAreTyped: every structural rejection must wrap
+// ErrMalformed (the MLaaS server keys its bad-request mapping off it) and
+// the scale bound must reject values a correct peer can never produce,
+// even when they are perfectly finite floats.
+func TestMalformedStreamsAreTyped(t *testing.T) {
+	tc := newTestContext(t, nil)
+	ct := tc.encryptVec(randVec(8, 1, rand.New(rand.NewSource(56))), 2)
+	raw, _ := ct.MarshalBinary()
+
+	putScale := func(b []byte, s float64) {
+		binary.LittleEndian.PutUint64(b[2:], math.Float64bits(s))
+	}
+	cases := map[string][]byte{}
+
+	bad := append([]byte(nil), raw...)
+	bad[0] = 0x00
+	cases["wrong tag"] = bad
+
+	bad = append([]byte(nil), raw...)
+	bad[1] = 0
+	cases["zero degree"] = bad
+
+	bad = append([]byte(nil), raw...)
+	putScale(bad, 0.5) // finite, positive, but below any rescaled scale
+	cases["sub-unit scale"] = bad
+
+	bad = append([]byte(nil), raw...)
+	putScale(bad, math.Exp2(float64(4*tc.params.QBits)+1)) // finite but past the post-mul bound
+	cases["oversized scale"] = bad
+
+	for name, stream := range cases {
+		if _, err := ReadCiphertext(bytes.NewReader(stream), tc.params); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+
+	// Parts at different levels: a degree-2 header whose second poly sits
+	// at a different level than the first must be rejected mid-stream.
+	other := tc.encryptVec(randVec(8, 1, rand.New(rand.NewSource(57))), 4)
+	var mixed bytes.Buffer
+	hdr := [10]byte{tagCiphertext, 2}
+	binary.LittleEndian.PutUint64(hdr[2:], math.Float64bits(ct.Scale))
+	mixed.Write(hdr[:])
+	if _, err := ct.Value[0].WriteTo(&mixed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Value[0].WriteTo(&mixed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCiphertext(&mixed, tc.params); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("inconsistent part levels: want ErrMalformed, got %v", err)
 	}
 }
 

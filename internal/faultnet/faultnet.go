@@ -1,0 +1,218 @@
+// Package faultnet wraps a net.Conn (or bare io.ReadWriter) with
+// deterministic, configurable fault injection: added latency, mid-stream
+// connection drops, byte corruption, pathological short reads, and
+// indefinite stalls. It exists so the MLaaS serving layer's failure
+// behavior is testable — every scenario in internal/mlaas's fault suite
+// drives the real wire protocol through one of these wrappers and asserts
+// that both ends observe a clean, typed failure instead of a hang, a
+// panic, or silent corruption.
+//
+// All faults trigger at byte offsets counted from the start of the
+// wrapped stream, so a scenario is reproducible from its Config alone;
+// the Seed only chooses the corruption mask, never whether or where a
+// fault fires.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is returned by Read/Write after a configured drop point
+// has been reached. The underlying connection is closed, so the peer
+// observes EOF or a reset — exactly what a mid-stream network failure
+// looks like.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// ErrInjectedStall is returned when an operation was parked by a stall
+// fault and the connection was closed out from under it.
+var ErrInjectedStall = errors.New("faultnet: stalled connection closed")
+
+// Config selects which faults an injected connection exhibits. The zero
+// value injects nothing and behaves like the wrapped connection.
+type Config struct {
+	// Seed picks the corruption mask. Two wrappers with equal configs
+	// corrupt identically.
+	Seed int64
+
+	// ReadDelay / WriteDelay sleep before every corresponding operation —
+	// combined with a peer deadline this models a link too slow to serve.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+
+	// DropAfterReads / DropAfterWrites sever the connection once that many
+	// bytes have crossed in the given direction (0 disables). The fault
+	// fires mid-operation: a Write that straddles the threshold delivers
+	// the prefix, then fails.
+	DropAfterReads  int64
+	DropAfterWrites int64
+
+	// CorruptWriteAt flips bits in the written stream starting at this
+	// byte offset (0 disables; use 1 to corrupt from the first byte).
+	// CorruptBytes bounds how many bytes are damaged (default 1).
+	CorruptWriteAt int64
+	CorruptBytes   int
+
+	// ShortReads delivers at most one byte per Read call, exercising every
+	// io.ReadFull loop on the other side of the decoder.
+	ShortReads bool
+
+	// StallAfterWrites parks every Write indefinitely once that many bytes
+	// have been written (0 disables). A stalled operation returns only
+	// when the connection is closed.
+	StallAfterWrites int64
+}
+
+// Conn is a fault-injecting net.Conn. Wrap the endpoint whose traffic
+// should misbehave; the peer stays pristine and sees only the symptoms.
+type Conn struct {
+	inner net.Conn
+	cfg   Config
+
+	mu           sync.Mutex
+	readBytes    int64
+	writtenBytes int64
+	corruptLeft  int
+	mask         byte
+	closed       chan struct{}
+	closeOnce    sync.Once
+}
+
+// New wraps inner with the configured faults.
+func New(inner net.Conn, cfg Config) *Conn {
+	corrupt := cfg.CorruptBytes
+	if corrupt <= 0 {
+		corrupt = 1
+	}
+	mask := byte(rand.New(rand.NewSource(cfg.Seed)).Intn(255) + 1) // never 0: a 0 mask would be a no-op
+	return &Conn{inner: inner, cfg: cfg, corruptLeft: corrupt, mask: mask, closed: make(chan struct{})}
+}
+
+// Pipe returns an in-memory duplex pair with faults injected on the
+// client side: cli misbehaves per cfg, srv is a clean net.Pipe end.
+func Pipe(cfg Config) (cli *Conn, srv net.Conn) {
+	a, b := net.Pipe()
+	return New(a, cfg), b
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.cfg.ReadDelay > 0 {
+		if !c.sleep(c.cfg.ReadDelay) {
+			return 0, ErrInjectedStall
+		}
+	}
+	c.mu.Lock()
+	if c.cfg.DropAfterReads > 0 && c.readBytes >= c.cfg.DropAfterReads {
+		c.mu.Unlock()
+		c.Close()
+		return 0, ErrInjectedDrop
+	}
+	limit := len(b)
+	if c.cfg.ShortReads && limit > 1 {
+		limit = 1
+	}
+	if c.cfg.DropAfterReads > 0 {
+		if rem := c.cfg.DropAfterReads - c.readBytes; int64(limit) > rem {
+			limit = int(rem)
+		}
+	}
+	c.mu.Unlock()
+
+	n, err := c.inner.Read(b[:limit])
+	c.mu.Lock()
+	c.readBytes += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.cfg.WriteDelay > 0 {
+		if !c.sleep(c.cfg.WriteDelay) {
+			return 0, ErrInjectedStall
+		}
+	}
+	c.mu.Lock()
+	written := c.writtenBytes
+	if c.cfg.StallAfterWrites > 0 && written >= c.cfg.StallAfterWrites {
+		c.mu.Unlock()
+		<-c.closed
+		return 0, ErrInjectedStall
+	}
+	if c.cfg.DropAfterWrites > 0 && written >= c.cfg.DropAfterWrites {
+		c.mu.Unlock()
+		c.Close()
+		return 0, ErrInjectedDrop
+	}
+
+	limit := len(b)
+	var dropping, stalling bool
+	if c.cfg.DropAfterWrites > 0 {
+		if rem := c.cfg.DropAfterWrites - written; int64(limit) > rem {
+			limit, dropping = int(rem), true
+		}
+	}
+	if c.cfg.StallAfterWrites > 0 {
+		if rem := c.cfg.StallAfterWrites - written; int64(limit) > rem {
+			limit, stalling = int(rem), true
+		}
+	}
+
+	buf := b[:limit]
+	if c.cfg.CorruptWriteAt > 0 && written+int64(limit) >= c.cfg.CorruptWriteAt && c.corruptLeft > 0 {
+		buf = append([]byte(nil), buf...)
+		for i := range buf {
+			if written+int64(i)+1 >= c.cfg.CorruptWriteAt && c.corruptLeft > 0 {
+				buf[i] ^= c.mask
+				c.corruptLeft--
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	n, err := c.inner.Write(buf)
+	c.mu.Lock()
+	c.writtenBytes += int64(n)
+	c.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if dropping {
+		c.Close()
+		return n, ErrInjectedDrop
+	}
+	if stalling {
+		<-c.closed
+		return n, ErrInjectedStall
+	}
+	return n, nil
+}
+
+// sleep waits for d or until the connection closes; it reports whether the
+// full delay elapsed.
+func (c *Conn) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// Close severs the wrapped connection and releases any stalled operations.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// The remaining net.Conn methods delegate to the wrapped connection.
+
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

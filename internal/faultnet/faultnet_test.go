@@ -1,0 +1,170 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echo pumps every byte received on conn straight back.
+func echo(conn net.Conn) {
+	io.Copy(conn, conn) //nolint:errcheck
+	conn.Close()
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	cli, srv := Pipe(Config{})
+	go echo(srv)
+	msg := []byte("round trip unchanged")
+	go cli.Write(msg) //nolint:errcheck
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	cli.Close()
+}
+
+func TestDropAfterWrites(t *testing.T) {
+	cli, srv := Pipe(Config{DropAfterWrites: 10})
+	received := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(srv)
+		received <- b
+	}()
+	n, err := cli.Write(make([]byte, 64))
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want ErrInjectedDrop", err)
+	}
+	if n != 10 {
+		t.Fatalf("delivered %d bytes before drop, want 10", n)
+	}
+	// The peer sees exactly the prefix, then EOF — a clean mid-stream cut.
+	if b := <-received; len(b) != 10 {
+		t.Fatalf("peer received %d bytes, want 10", len(b))
+	}
+	// Subsequent writes fail immediately.
+	if _, err := cli.Write([]byte{1}); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop write err = %v", err)
+	}
+}
+
+func TestDropAfterReads(t *testing.T) {
+	cli, srv := Pipe(Config{DropAfterReads: 4})
+	go srv.Write(make([]byte, 32)) //nolint:errcheck
+	buf := make([]byte, 32)
+	n, err := io.ReadFull(cli, buf)
+	if n != 4 {
+		t.Fatalf("read %d bytes before drop, want 4", n)
+	}
+	if err == nil {
+		t.Fatal("expected an error after the drop point")
+	}
+}
+
+func TestCorruptionIsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		cli, srv := Pipe(Config{Seed: seed, CorruptWriteAt: 3, CorruptBytes: 2})
+		out := make(chan []byte, 1)
+		go func() {
+			b := make([]byte, 8)
+			io.ReadFull(srv, b) //nolint:errcheck
+			out <- b
+		}()
+		if _, err := cli.Write([]byte{0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+			t.Fatal(err)
+		}
+		got := <-out
+		cli.Close()
+		return got
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different corruption: % x vs % x", a, b)
+	}
+	want := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	if bytes.Equal(a, want) {
+		t.Fatal("corruption did not alter the stream")
+	}
+	// Exactly bytes 2 and 3 (offsets 3 and 4, 1-based) differ.
+	diff := 0
+	for i := range a {
+		if a[i] != want[i] {
+			diff++
+			if i != 2 && i != 3 {
+				t.Fatalf("byte %d corrupted, expected only offsets 2,3", i)
+			}
+		}
+	}
+	if diff != 2 {
+		t.Fatalf("%d bytes corrupted, want 2", diff)
+	}
+	if c := run(8); bytes.Equal(a, c) {
+		t.Fatal("different seed produced identical corruption mask")
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	cli, srv := Pipe(Config{ShortReads: true})
+	go srv.Write([]byte("abcdef")) //nolint:errcheck
+	buf := make([]byte, 6)
+	n, err := cli.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("short-read conn returned %d bytes in one call", n)
+	}
+	// io.ReadFull must still assemble the message.
+	rest := make([]byte, 5)
+	if _, err := io.ReadFull(cli, rest); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:1])+string(rest) != "abcdef" {
+		t.Fatal("reassembled message mismatch")
+	}
+}
+
+func TestReadDelayTripsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	cli := New(a, Config{ReadDelay: 50 * time.Millisecond})
+	go b.Write([]byte("late")) //nolint:errcheck
+	cli.SetReadDeadline(time.Now().Add(5 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 4)
+	_, err := cli.Read(buf)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	cli.Close()
+	b.Close()
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	cli, srv := Pipe(Config{StallAfterWrites: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Write([]byte("stalled well past the threshold"))
+		done <- err
+	}()
+	go io.Copy(io.Discard, srv) //nolint:errcheck
+	select {
+	case err := <-done:
+		t.Fatalf("write returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	cli.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjectedStall) {
+			t.Fatalf("err = %v, want ErrInjectedStall", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled write not released by Close")
+	}
+}

@@ -1,0 +1,320 @@
+package mlaas
+
+// The fault-injection suite: every scenario drives the real wire protocol
+// through an internal/faultnet wrapper (or the testEvalHook seam for
+// failures inside evaluation) and asserts the contract the serving layer
+// promises — the server survives and answers with the right typed status,
+// and the client either surfaces one clean error or recovers via backoff
+// retry. Scenarios are deterministic: fixed key/image seeds, fixed
+// faultnet byte offsets and seeds, and a stubbed retry clock.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fxhenn/internal/faultnet"
+)
+
+// tcpFixture is a fixture serving on a real localhost listener.
+type tcpFixture struct {
+	*fixture
+	l        net.Listener
+	serveErr chan error
+}
+
+func newTCPFixture(t testing.TB, cfg Config) *tcpFixture {
+	t.Helper()
+	fx := newFixture(t)
+	if cfg != (Config{}) {
+		fx.server = NewServerWithConfig(fx.params, fx.henet, fx.rlk, fx.rtk, cfg)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfx := &tcpFixture{fixture: fx, l: l, serveErr: make(chan error, 1)}
+	go func() { tfx.serveErr <- fx.server.Serve(l) }()
+	t.Cleanup(func() { l.Close() })
+	return tfx
+}
+
+func (fx *tcpFixture) dial(t testing.TB) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", fx.l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// mustInferOK asserts the server still completes a clean inference — the
+// "stays alive" half of every scenario.
+func (fx *tcpFixture) mustInferOK(t *testing.T, seed int64) {
+	t.Helper()
+	cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 900+seed)
+	conn := fx.dial(t)
+	defer conn.Close()
+	if _, err := cl.Infer(context.Background(), conn, randomImage(seed)); err != nil {
+		t.Fatalf("server unhealthy after fault: %v", err)
+	}
+}
+
+// readFailure reads a [status][len][msg] response directly off a conn.
+func readFailure(t *testing.T, r io.Reader, within time.Duration) (Status, string) {
+	t.Helper()
+	if c, ok := r.(net.Conn); ok {
+		c.SetReadDeadline(time.Now().Add(within)) //nolint:errcheck
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		t.Fatalf("reading failure response: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxErrorMessageBytes {
+		t.Fatalf("failure message length %d over cap", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		t.Fatalf("reading failure message: %v", err)
+	}
+	return Status(hdr[0]), string(msg)
+}
+
+// TestFaultDelayPastDeadline: a client that stalls mid-request trips the
+// server's rolling read deadline. The server answers with a typed
+// bad-request (visible on the conn's intact read half), stays alive, and
+// the stalled client surfaces a clean retryable transport error.
+func TestFaultDelayPastDeadline(t *testing.T) {
+	fx := newTCPFixture(t, Config{IOTimeout: 150 * time.Millisecond})
+	tcp := fx.dial(t)
+	// Stall after the 4-byte count header: the server sees a well-formed
+	// header, then silence where ciphertexts should be.
+	conn := faultnet.New(tcp, faultnet.Config{Seed: 11, StallAfterWrites: 4})
+
+	infErr := make(chan error, 1)
+	go func() {
+		_, err := fx.client.Infer(context.Background(), conn, randomImage(21))
+		infErr <- err
+	}()
+
+	status, msg := readFailure(t, conn, 5*time.Second)
+	if status != StatusBadRequest {
+		t.Fatalf("status %s, want bad-request", status)
+	}
+	if !strings.Contains(msg, "timeout") && !strings.Contains(msg, "deadline") {
+		t.Fatalf("deadline trip not reported: %q", msg)
+	}
+
+	conn.Close() // releases the stalled write
+	err := <-infErr
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("client error %v, want TransportError", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("pre-response transport failure must be retryable")
+	}
+	fx.mustInferOK(t, 22)
+	if st := fx.server.Stats(); st.BadRequests == 0 {
+		t.Fatalf("deadline trip not counted: %+v", st)
+	}
+}
+
+// TestFaultMidStreamDrop: the connection dies partway through the request
+// upload. The client reports a clean retryable error; the server logs a
+// bad request and keeps serving.
+func TestFaultMidStreamDrop(t *testing.T) {
+	fx := newTCPFixture(t, Config{})
+	tcp := fx.dial(t)
+	conn := faultnet.New(tcp, faultnet.Config{Seed: 12, DropAfterWrites: 1000})
+
+	_, err := fx.client.Infer(context.Background(), conn, randomImage(23))
+	if !errors.Is(err, faultnet.ErrInjectedDrop) {
+		t.Fatalf("err = %v, want the injected drop", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Partial {
+		t.Fatalf("drop during request must be a non-partial TransportError, got %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("mid-request drop must be retryable")
+	}
+	conn.Close()
+	fx.mustInferOK(t, 24)
+}
+
+// TestFaultCorruptedCiphertext: one flipped byte in the first ciphertext's
+// tag. Serialize-time validation rejects it before any evaluation; the
+// client gets a typed, non-retryable bad-request with the decode detail.
+func TestFaultCorruptedCiphertext(t *testing.T) {
+	fx := newTCPFixture(t, Config{})
+	tcp := fx.dial(t)
+	// Byte 5 of the stream is the first byte after the count header — the
+	// ciphertext kind tag.
+	conn := faultnet.New(tcp, faultnet.Config{Seed: 13, CorruptWriteAt: 5})
+	defer conn.Close()
+
+	_, err := fx.client.Infer(context.Background(), conn, randomImage(25))
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.Code != StatusBadRequest {
+		t.Fatalf("status %s, want bad-request", se.Code)
+	}
+	if !strings.Contains(se.Msg, "ciphertext 0") {
+		t.Fatalf("corruption not attributed to the first ciphertext: %q", se.Msg)
+	}
+	if Retryable(err) {
+		t.Fatal("corrupt-data refusal must not be retryable: the same bytes would fail again")
+	}
+	fx.mustInferOK(t, 26)
+	if st := fx.server.Stats(); st.BadRequests != 1 || st.Served != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFaultServerPanic: a panic deep in evaluation is confined to the one
+// request — the client gets StatusInternal, the process survives, and the
+// next request is served normally.
+func TestFaultServerPanic(t *testing.T) {
+	fx := newTCPFixture(t, Config{})
+	var bombs atomic.Int32
+	bombs.Store(1)
+	fx.server.testEvalHook = func() {
+		if bombs.Add(-1) >= 0 {
+			panic("injected evaluator failure")
+		}
+	}
+
+	conn := fx.dial(t)
+	defer conn.Close()
+	_, err := fx.client.Infer(context.Background(), conn, randomImage(27))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusInternal {
+		t.Fatalf("err = %v, want StatusInternal", err)
+	}
+	if !strings.Contains(se.Msg, "injected evaluator failure") {
+		t.Fatalf("panic detail lost: %q", se.Msg)
+	}
+	if Retryable(err) {
+		t.Fatal("internal errors are not retryable")
+	}
+
+	fx.mustInferOK(t, 28)
+	if st := fx.server.Stats(); st.Panics != 1 || st.Served != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFaultSaturationBusyThenRetry: with one evaluation slot occupied, a
+// second request is refused fail-fast with StatusBusy; InferRetry backs
+// off (on a stubbed clock) and succeeds once the slot frees up.
+func TestFaultSaturationBusyThenRetry(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	// Park one inference in the single slot.
+	firstDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 300)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(29))
+		firstDone <- err
+	}()
+	<-entered
+
+	// Second client: first attempt must come back busy, then the retry
+	// succeeds after the stubbed backoff releases the parked request and
+	// waits for the slot to actually free up.
+	var sleeps []time.Duration
+	var released bool
+	cl2 := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 301)
+	policy := RetryPolicy{
+		MaxAttempts: 3,
+		Seed:        14,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			if !released {
+				released = true
+				close(release)
+			}
+			for len(fx.server.sem) > 0 { // deterministic stand-in for the backoff clock
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		},
+	}
+	dial := func(ctx context.Context) (net.Conn, error) {
+		return net.Dial("tcp", fx.l.Addr().String())
+	}
+	logits, err := cl2.InferRetry(context.Background(), dial, randomImage(30), policy)
+	if err != nil {
+		t.Fatalf("retry did not recover from saturation: %v", err)
+	}
+	if len(logits) == 0 {
+		t.Fatal("no logits")
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("parked inference failed: %v", err)
+	}
+	if cl2.Retries != 1 || len(sleeps) != 1 {
+		t.Fatalf("retries=%d sleeps=%v, want exactly one backoff", cl2.Retries, sleeps)
+	}
+	st := fx.server.Stats()
+	if st.Rejected == 0 {
+		t.Fatalf("no busy rejection recorded: %+v", st)
+	}
+	if st.Served != 2 {
+		t.Fatalf("served=%d, want 2", st.Served)
+	}
+}
+
+// TestBackoffDeterministicBySeed: the jittered backoff schedule is a pure
+// function of the policy seed.
+func TestBackoffDeterministicBySeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		p := RetryPolicy{Seed: seed}.withDefaults()
+		rng := rand.New(rand.NewSource(seed))
+		var ds []time.Duration
+		for i := 0; i < 6; i++ {
+			ds = append(ds, p.backoff(i, rng))
+		}
+		return ds
+	}
+	a, b := schedule(5), schedule(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: %v vs %v with the same seed", i, a[i], b[i])
+		}
+	}
+	p := RetryPolicy{}.withDefaults()
+	for i, d := range a {
+		exp := p.BaseDelay << uint(i)
+		if exp > p.MaxDelay {
+			exp = p.MaxDelay
+		}
+		lo := time.Duration(float64(exp) * (1 - p.Jitter))
+		hi := time.Duration(float64(exp) * (1 + p.Jitter))
+		if d < lo || d > hi {
+			t.Fatalf("retry %d: delay %v outside [%v,%v]", i, d, lo, hi)
+		}
+	}
+	if c := schedule(6); a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}

@@ -9,16 +9,29 @@
 // Protocol (all little-endian, length-delimited):
 //
 //	request:  uint32 ciphertext count, then that many serialized ciphertexts
-//	response: status byte (0 ok / 1 error), then one ciphertext or a
-//	          uint32-length error string
+//	response: status byte (see Status), then one ciphertext (StatusOK) or a
+//	          uint32-length error string (any other status)
+//
+// The serving layer is production-shaped: per-connection I/O deadlines and
+// a total request budget, a concurrency-limiting semaphore that fails fast
+// with StatusBusy, per-request panic isolation (a malformed ciphertext
+// that blows up deep in the evaluator kills one request, not the
+// process), typed wire statuses, and Shutdown(ctx) that drains in-flight
+// inferences while refusing new ones with StatusShuttingDown. The client
+// side mirrors it: Infer honors a context, and InferRetry adds capped
+// exponential backoff with deterministic jitter for retryable failures.
+// internal/faultnet drives every one of these paths in the test suite.
 package mlaas
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/cnn"
@@ -29,6 +42,50 @@ import (
 // unbounded allocation.
 const maxRequestCiphertexts = 4096
 
+// maxErrorMessageBytes caps the error string on the wire in both
+// directions: the server truncates before writing, the client refuses to
+// read more.
+const maxErrorMessageBytes = 64 << 10
+
+// ErrServerClosed is returned by Serve after Shutdown stops the listener.
+var ErrServerClosed = errors.New("mlaas: server closed")
+
+// Config bounds a Server's resource usage. The zero value takes every
+// default.
+type Config struct {
+	// MaxConcurrent caps simultaneous evaluations; requests beyond it are
+	// refused immediately with StatusBusy. Default 4.
+	MaxConcurrent int
+	// IOTimeout is the rolling per-read/per-write deadline on a
+	// connection. Default 30s.
+	IOTimeout time.Duration
+	// RequestBudget is the absolute wall-clock budget for one exchange,
+	// admission to final byte. Default 2m.
+	RequestBudget time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.RequestBudget <= 0 {
+		c.RequestBudget = 2 * time.Minute
+	}
+	return c
+}
+
+// Stats is a snapshot of a Server's request counters.
+type Stats struct {
+	Served      int // completed inferences
+	BadRequests int // protocol or data errors reported to clients
+	Rejected    int // refused with StatusBusy or StatusShuttingDown
+	Panics      int // evaluation panics recovered into StatusInternal
+	Dropped     int // in-flight requests cut off by a forced shutdown
+}
+
 // Server evaluates encrypted inferences. It holds the compiled network,
 // the model weights (inside the network), and the evaluation keys — but no
 // secret key.
@@ -36,14 +93,33 @@ type Server struct {
 	params ckks.Parameters
 	net    *hecnn.Network
 	ctx    *hecnn.Context
+	cfg    Config
+	sem    chan struct{}
 
-	mu     sync.Mutex
-	served int
+	mu        sync.Mutex
+	stats     Stats
+	inflight  int
+	draining  bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	drained   chan struct{}
+	drainOnce sync.Once
+
+	// testEvalHook, when set, runs after request validation and before
+	// evaluation — the seam the fault suite uses to force deep panics and
+	// slow requests deterministically.
+	testEvalHook func()
 }
 
-// NewServer builds a server from the compiled network and the client's
-// published evaluation keys.
+// NewServer builds a server with default limits from the compiled network
+// and the client's published evaluation keys.
 func NewServer(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeys) *Server {
+	return NewServerWithConfig(params, henet, rlk, rtk, Config{})
+}
+
+// NewServerWithConfig builds a server with explicit limits.
+func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeys, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	return &Server{
 		params: params,
 		net:    henet,
@@ -52,6 +128,11 @@ func NewServer(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.Relineari
 			Encoder: ckks.NewEncoder(params),
 			Eval:    ckks.NewEvaluator(params, rlk, rtk),
 		},
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		drained:   make(chan struct{}),
 	}
 }
 
@@ -59,72 +140,321 @@ func NewServer(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.Relineari
 func (s *Server) Served() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.served
+	return s.stats.Served
 }
 
-// Serve accepts connections until the listener closes, handling one
-// inference per connection.
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Serve accepts connections until the listener closes or the server shuts
+// down, handling one inference per connection. During a drain it keeps
+// accepting just long enough to refuse each connection with
+// StatusShuttingDown; once drained, Shutdown closes the listener and
+// Serve returns ErrServerClosed.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
 			return err
 		}
 		go func() {
 			defer conn.Close()
+			s.trackConn(conn, true)
+			defer s.trackConn(conn, false)
 			s.Handle(conn)
 		}()
 	}
 }
 
-// Handle processes one request/response exchange on rw.
-func (s *Server) Handle(rw io.ReadWriter) {
-	if err := s.handle(rw); err != nil {
-		// Report the failure to the client; transport errors after this
-		// point are unrecoverable anyway.
-		msg := err.Error()
-		var hdr [5]byte
-		hdr[0] = 1
-		binary.LittleEndian.PutUint32(hdr[1:], uint32(len(msg)))
-		rw.Write(hdr[:])        //nolint:errcheck
-		io.WriteString(rw, msg) //nolint:errcheck
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
 	}
 }
 
-func (s *Server) handle(rw io.ReadWriter) error {
+// Shutdown stops admitting new requests, waits for in-flight inferences
+// to drain, then closes the listeners. While draining, new connections
+// are refused with StatusShuttingDown. If ctx expires first, the
+// remaining connections are severed and the error reports how many
+// in-flight requests were dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.closeDrained()
+	}
+	s.mu.Unlock()
+
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		s.mu.Lock()
+		dropped := s.inflight
+		s.stats.Dropped += dropped
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		err = fmt.Errorf("mlaas: shutdown forced, %d in-flight requests dropped: %w", dropped, ctx.Err())
+	}
+
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) closeDrained() {
+	s.drainOnce.Do(func() { close(s.drained) })
+}
+
+// After a failure response the peer may still be mid-request; the server
+// keeps reading (and discarding) up to drainWindow/maxDrainBytes so the
+// peer can finish its write and read the typed status instead of taking
+// a connection reset. Purely politeness — both bounds are hard.
+const (
+	drainWindow   = time.Second
+	maxDrainBytes = 8 << 20
+)
+
+// Handle processes one request/response exchange on rw: admission
+// (drain check, then the concurrency semaphore), deadline-bounded
+// protocol I/O, validation, panic-isolated evaluation, and a typed
+// status on every failure path, followed by a bounded politeness drain
+// of any unread request bytes.
+func (s *Server) Handle(rw io.ReadWriter) {
+	if !s.handleRequest(rw) {
+		return
+	}
+	d, ok := rw.(deadliner)
+	if !ok {
+		return // cannot bound the drain; skip it
+	}
+	d.SetReadDeadline(time.Now().Add(drainWindow)) //nolint:errcheck
+	io.CopyN(io.Discard, rw, maxDrainBytes)        //nolint:errcheck
+}
+
+// handleRequest runs the exchange and reports whether unread request
+// bytes may remain on the wire (i.e. the request was refused or failed).
+func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
+	trw := newTimedRW(rw, s.cfg.IOTimeout, time.Time{})
+
+	s.mu.Lock()
+	if s.draining {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		s.writeFailure(trw, StatusShuttingDown, "server is shutting down")
+		return true
+	}
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		if s.draining && s.inflight == 0 {
+			s.closeDrained()
+		}
+		s.mu.Unlock()
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		s.writeFailure(trw, StatusBusy, fmt.Sprintf("server at capacity (%d concurrent)", s.cfg.MaxConcurrent))
+		return true
+	}
+
+	trw.abs = time.Now().Add(s.cfg.RequestBudget)
+	err := s.serveRequest(trw)
+	if err == nil {
+		return false
+	}
+	var we *wireError
+	if !errors.As(err, &we) {
+		// Transport-level failure before classification; report it as a
+		// bad request — if the peer is gone the write just fails silently.
+		we = &wireError{StatusBadRequest, err.Error()}
+	}
+	s.mu.Lock()
+	switch we.status {
+	case StatusInternal:
+		s.stats.Panics++
+	default:
+		s.stats.BadRequests++
+	}
+	s.mu.Unlock()
+	// The failure report gets one fresh I/O window even when the request
+	// died by exhausting its budget.
+	trw.abs = time.Now().Add(s.cfg.IOTimeout)
+	s.writeFailure(trw, we.status, we.msg)
+	return true
+}
+
+// serveRequest runs one exchange. Any panic below it — corrupt
+// ciphertext structure surviving validation, scale drift in the
+// evaluator, a bug in a layer kernel — is confined to this request and
+// surfaced as StatusInternal.
+func (s *Server) serveRequest(rw io.ReadWriter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &wireError{StatusInternal, fmt.Sprintf("evaluation panic: %v", r)}
+		}
+	}()
+
 	var cntBuf [4]byte
 	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
-		return fmt.Errorf("reading request header: %w", err)
+		return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
 	}
 	count := int(binary.LittleEndian.Uint32(cntBuf[:]))
+	// Reject a hostile count before comparing against the model shape or
+	// allocating anything: the bound check must come first.
+	if count < 1 || count > maxRequestCiphertexts {
+		return &wireError{StatusBadRequest, fmt.Sprintf("request ciphertext count %d outside [1,%d]", count, maxRequestCiphertexts)}
+	}
 	expect := s.net.Layers[0].(*hecnn.ConvPacked).NumPositions()
 	if count != expect {
-		return fmt.Errorf("expected %d packed ciphertexts, got %d", expect, count)
-	}
-	if count > maxRequestCiphertexts {
-		return fmt.Errorf("request too large")
+		return &wireError{StatusBadRequest, fmt.Sprintf("expected %d packed ciphertexts, got %d", expect, count)}
 	}
 	cts := make([]*hecnn.CT, 0, count)
 	for i := 0; i < count; i++ {
 		ct, err := ckks.ReadCiphertext(rw, s.params)
 		if err != nil {
-			return fmt.Errorf("reading ciphertext %d: %w", i, err)
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading ciphertext %d: %v", i, err)}
 		}
 		cts = append(cts, hecnn.WrapCiphertext(ct))
 	}
+	if err := s.net.ValidateCiphertexts(cts, s.params.MaxLevel()); err != nil {
+		return &wireError{StatusBadRequest, err.Error()}
+	}
 
+	if s.testEvalHook != nil {
+		s.testEvalHook()
+	}
 	out := s.net.EvaluateEncrypted(hecnn.NewCryptoBackend(s.ctx, nil), cts)
 
-	if _, err := rw.Write([]byte{0}); err != nil {
+	if _, err := rw.Write([]byte{byte(StatusOK)}); err != nil {
 		return nil // client gone; nothing to report
 	}
 	if _, err := out.Ciphertext().WriteTo(rw); err != nil {
 		return nil
 	}
 	s.mu.Lock()
-	s.served++
+	s.stats.Served++
 	s.mu.Unlock()
 	return nil
+}
+
+// writeFailure sends a typed failure response, truncating the message to
+// the wire cap. Write errors are ignored: the peer may already be gone.
+func (s *Server) writeFailure(w io.Writer, status Status, msg string) {
+	if len(msg) > maxErrorMessageBytes {
+		msg = msg[:maxErrorMessageBytes]
+	}
+	var hdr [5]byte
+	hdr[0] = byte(status)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(msg)))
+	w.Write(hdr[:])       //nolint:errcheck
+	io.WriteString(w, msg) //nolint:errcheck
+}
+
+// deadliner is the subset of net.Conn needed for rolling deadlines.
+// net.Pipe and *faultnet.Conn implement it too; plain buffers in unit
+// tests do not and simply run unbounded.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// timedRW bumps a rolling per-operation deadline before every read and
+// write, clamped to an absolute budget cutoff. It is how one Config
+// timeout pair bounds every io.ReadFull and WriteTo in the codec without
+// threading deadlines through each call site.
+type timedRW struct {
+	rw  io.ReadWriter
+	d   deadliner // nil when rw cannot carry deadlines
+	op  time.Duration
+	abs time.Time
+}
+
+func newTimedRW(rw io.ReadWriter, op time.Duration, abs time.Time) *timedRW {
+	t := &timedRW{rw: rw, op: op, abs: abs}
+	if d, ok := rw.(deadliner); ok {
+		t.d = d
+	}
+	return t
+}
+
+func (t *timedRW) deadline() time.Time {
+	var dl time.Time
+	if t.op > 0 {
+		dl = time.Now().Add(t.op)
+	}
+	if !t.abs.IsZero() && (dl.IsZero() || t.abs.Before(dl)) {
+		dl = t.abs
+	}
+	return dl
+}
+
+func (t *timedRW) overBudget() error {
+	if !t.abs.IsZero() && time.Now().After(t.abs) {
+		return fmt.Errorf("request budget exhausted: %w", context.DeadlineExceeded)
+	}
+	return nil
+}
+
+func (t *timedRW) Read(b []byte) (int, error) {
+	if err := t.overBudget(); err != nil {
+		return 0, err
+	}
+	if t.d != nil {
+		t.d.SetReadDeadline(t.deadline()) //nolint:errcheck
+	}
+	return t.rw.Read(b)
+}
+
+func (t *timedRW) Write(b []byte) (int, error) {
+	if err := t.overBudget(); err != nil {
+		return 0, err
+	}
+	if t.d != nil {
+		t.d.SetWriteDeadline(t.deadline()) //nolint:errcheck
+	}
+	return t.rw.Write(b)
 }
 
 // Client packs, encrypts, ships, and decrypts. It owns the secret key.
@@ -135,9 +465,16 @@ type Client struct {
 	encryptor *ckks.Encryptor
 	decryptor *ckks.Decryptor
 
-	// BytesSent / BytesReceived accumulate wire traffic.
+	// Timeout is the rolling per-read/per-write deadline applied when the
+	// connection supports deadlines (0 disables). A context deadline on
+	// Infer additionally caps the whole exchange.
+	Timeout time.Duration
+
+	// BytesSent / BytesReceived accumulate wire traffic; Retries counts
+	// re-dials performed by InferRetry.
 	BytesSent     int64
 	BytesReceived int64
+	Retries       int
 }
 
 // NewClient builds the client side from the key material.
@@ -148,52 +485,70 @@ func NewClient(params ckks.Parameters, henet *hecnn.Network, pk *ckks.PublicKey,
 		encoder:   ckks.NewEncoder(params),
 		encryptor: ckks.NewEncryptor(params, pk, seed),
 		decryptor: ckks.NewDecryptor(params, sk),
+		Timeout:   30 * time.Second,
 	}
 }
 
 // Infer runs one encrypted inference over the connection and returns the
-// decrypted logits.
-func (c *Client) Infer(conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+// decrypted logits. The context's deadline bounds the whole exchange;
+// failures before any response byte arrive as *TransportError with
+// Partial=false (safe to retry on a fresh connection), failures after as
+// Partial=true, and typed server refusals as *StatusError.
+func (c *Client) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+	if err := c.net.ValidateInput(img); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var abs time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		abs = dl
+	}
+	trw := newTimedRW(conn, c.Timeout, abs)
+
 	packed := c.net.PackInput(img)
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(packed)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return nil, err
+	if _, err := trw.Write(hdr[:]); err != nil {
+		return nil, &TransportError{Err: err}
 	}
 	c.BytesSent += 4
 	level := c.params.MaxLevel()
 	for _, v := range packed {
 		ct := c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
-		n, err := ct.WriteTo(conn)
+		n, err := ct.WriteTo(trw)
 		c.BytesSent += n
 		if err != nil {
-			return nil, err
+			return nil, &TransportError{Err: err}
 		}
 	}
 
 	var status [1]byte
-	if _, err := io.ReadFull(conn, status[:]); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(trw, status[:]); err != nil {
+		return nil, &TransportError{Err: err}
 	}
 	c.BytesReceived++
-	if status[0] != 0 {
+	if code := Status(status[0]); code != StatusOK {
 		var lenBuf [4]byte
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(trw, lenBuf[:]); err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
 		}
+		c.BytesReceived += 4
 		msgLen := binary.LittleEndian.Uint32(lenBuf[:])
-		if msgLen > 1<<16 {
-			return nil, fmt.Errorf("server error (unreadable)")
+		if msgLen > maxErrorMessageBytes {
+			return nil, &StatusError{Code: code, Msg: "(error message exceeds wire cap)"}
 		}
 		msg := make([]byte, msgLen)
-		if _, err := io.ReadFull(conn, msg); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(trw, msg); err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
 		}
-		return nil, fmt.Errorf("server error: %s", msg)
+		c.BytesReceived += int64(msgLen)
+		return nil, &StatusError{Code: code, Msg: string(msg)}
 	}
-	out, err := ckks.ReadCiphertext(conn, c.params)
+	out, err := ckks.ReadCiphertext(trw, c.params)
 	if err != nil {
-		return nil, err
+		return nil, &TransportError{Partial: true, Err: err}
 	}
 	c.BytesReceived += int64(out.SerializedSize())
 

@@ -2,6 +2,7 @@ package mlaas
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"math"
 	"math/rand"
@@ -19,6 +20,10 @@ type fixture struct {
 	henet  *hecnn.Network
 	server *Server
 	client *Client
+	pk     *ckks.PublicKey
+	sk     *ckks.SecretKey
+	rlk    *ckks.RelinearizationKey
+	rtk    *ckks.RotationKeys
 }
 
 func newFixture(t testing.TB) *fixture {
@@ -40,6 +45,10 @@ func newFixture(t testing.TB) *fixture {
 		henet:  henet,
 		server: NewServer(params, henet, rlk, rtk),
 		client: NewClient(params, henet, pk, sk, 41),
+		pk:     pk,
+		sk:     sk,
+		rlk:    rlk,
+		rtk:    rtk,
 	}
 }
 
@@ -66,7 +75,7 @@ func TestInferenceOverPipe(t *testing.T) {
 
 	img := randomImage(1)
 	want := fx.pnet.Infer(img)
-	got, err := fx.client.Infer(cliConn, img)
+	got, err := fx.client.Infer(context.Background(), cliConn, img)
 	cliConn.Close()
 	<-done
 	if err != nil {
@@ -100,7 +109,7 @@ func TestInferenceOverTCP(t *testing.T) {
 		}
 		img := randomImage(seed)
 		want := fx.pnet.Infer(img)
-		got, err := fx.client.Infer(conn, img)
+		got, err := fx.client.Infer(context.Background(), conn, img)
 		conn.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -124,7 +133,7 @@ func TestTrafficAccounting(t *testing.T) {
 		fx.server.Handle(srvConn)
 	}()
 	img := randomImage(9)
-	if _, err := fx.client.Infer(cliConn, img); err != nil {
+	if _, err := fx.client.Infer(context.Background(), cliConn, img); err != nil {
 		t.Fatal(err)
 	}
 	cliConn.Close()

@@ -1,0 +1,149 @@
+package mlaas
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsInFlight is the graceful-drain contract: N concurrent
+// inferences are parked mid-evaluation, Shutdown begins, new connections
+// are refused with StatusShuttingDown while every in-flight request still
+// completes successfully, and only then does Serve wind down.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	const n = 3
+	fx := newTCPFixture(t, Config{MaxConcurrent: n, IOTimeout: 500 * time.Millisecond})
+	release := make(chan struct{})
+	entered := make(chan struct{}, n)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(seed int64) {
+			cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 400+seed)
+			conn := fx.dial(t)
+			defer conn.Close()
+			_, err := cl.Infer(context.Background(), conn, randomImage(seed))
+			results <- err
+		}(int64(40 + i))
+	}
+	for i := 0; i < n; i++ {
+		<-entered // all n requests are inside evaluation
+	}
+
+	shutErr := make(chan error, 1)
+	go func() { shutErr <- fx.server.Shutdown(context.Background()) }()
+
+	// New connections must now be refused with the typed drain status.
+	// Early probes can race the Shutdown goroutine (or land in the free
+	// admission path and time out as bad requests); only the typed
+	// refusal ends the loop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("never observed StatusShuttingDown")
+		}
+		conn := fx.dial(t)
+		status, msg := readFailure(t, conn, 2*time.Second)
+		conn.Close()
+		if status == StatusShuttingDown {
+			if !strings.Contains(msg, "shutting down") {
+				t.Fatalf("refusal message %q", msg)
+			}
+			break
+		}
+	}
+
+	// Nothing in flight has been cut off while we probed.
+	select {
+	case err := <-results:
+		t.Fatalf("in-flight inference finished during drain probe: %v (drain should still be waiting)", err)
+	default:
+	}
+
+	release <- struct{}{}
+	release <- struct{}{}
+	release <- struct{}{}
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("in-flight inference %d dropped during drain: %v", i, err)
+		}
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if err := <-fx.serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	st := fx.server.Stats()
+	if st.Served != n || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want %d served and nothing dropped", st, n)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("drain probes were not counted as rejections")
+	}
+}
+
+// TestShutdownForcedDrop: when the drain deadline expires, Shutdown severs
+// the remaining connections and reports how many requests it dropped.
+func TestShutdownForcedDrop(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 2})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	infErr := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 500)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(50))
+		infErr <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := fx.server.Shutdown(ctx)
+	if err == nil || !strings.Contains(err.Error(), "1 in-flight") {
+		t.Fatalf("forced shutdown error = %v, want a 1-request drop report", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown should wrap the context error, got %v", err)
+	}
+	if st := fx.server.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats %+v, want Dropped=1", st)
+	}
+}
+
+// TestShutdownIdleImmediate: with nothing in flight, Shutdown returns at
+// once and Serve on a fresh listener refuses to start.
+func TestShutdownIdleImmediate(t *testing.T) {
+	fx := newTCPFixture(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := fx.server.Shutdown(ctx); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+	if err := <-fx.serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := fx.server.Serve(l); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after shutdown = %v, want ErrServerClosed", err)
+	}
+}

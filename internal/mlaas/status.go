@@ -1,0 +1,94 @@
+package mlaas
+
+import (
+	"fmt"
+)
+
+// Status is the one-byte typed result code the server prefixes every
+// response with. StatusOK is followed by the result ciphertext; every
+// other status is followed by a uint32-length-delimited error message
+// (truncated server-side to maxErrorMessageBytes).
+type Status byte
+
+const (
+	// StatusOK: the request was evaluated; the result ciphertext follows.
+	StatusOK Status = 0
+	// StatusBadRequest: the request violated the protocol — wrong
+	// ciphertext count, malformed or corrupt ciphertext bytes, wrong
+	// level — or the client was too slow and tripped a read deadline.
+	// Retrying the same bytes will fail the same way.
+	StatusBadRequest Status = 1
+	// StatusInternal: the server failed while evaluating (a recovered
+	// panic in the HE pipeline). The request may or may not be at fault.
+	StatusInternal Status = 2
+	// StatusBusy: the server's concurrency limit is saturated; the
+	// request was rejected before any work. Safe and sensible to retry
+	// after a backoff.
+	StatusBusy Status = 3
+	// StatusShuttingDown: the server is draining and accepts no new
+	// work. Retry against another replica, not this one.
+	StatusShuttingDown Status = 4
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusInternal:
+		return "internal"
+	case StatusBusy:
+		return "busy"
+	case StatusShuttingDown:
+		return "shutting-down"
+	default:
+		return fmt.Sprintf("status(%d)", byte(s))
+	}
+}
+
+// Retryable reports whether a fresh attempt of the same request can
+// succeed: only saturation is transient on this server. Shutting-down is
+// deliberately not retryable here — the draining server will refuse until
+// it dies, so the retry budget is better spent elsewhere.
+func (s Status) Retryable() bool { return s == StatusBusy }
+
+// StatusError is the client-side error for a non-OK server response.
+type StatusError struct {
+	Code Status
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("mlaas: server returned %s", e.Code)
+	}
+	return fmt.Sprintf("mlaas: server returned %s: %s", e.Code, e.Msg)
+}
+
+// TransportError wraps a connection-level failure during an exchange.
+// Partial records whether any response bytes had been received when the
+// failure happened: a retry is only safe while Partial is false, because
+// after that the client may have consumed part of a successful response.
+type TransportError struct {
+	Partial bool
+	Err     error
+}
+
+func (e *TransportError) Error() string {
+	if e.Partial {
+		return fmt.Sprintf("mlaas: transport failed mid-response: %v", e.Err)
+	}
+	return fmt.Sprintf("mlaas: transport failed: %v", e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// wireError is the server's internal representation of a failure that
+// should be reported to the client with a typed status.
+type wireError struct {
+	status Status
+	msg    string
+}
+
+func (e *wireError) Error() string { return fmt.Sprintf("%s: %s", e.status, e.msg) }

@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -93,14 +94,20 @@ func (r AgreementReport) AgreementRate() float64 {
 // inference and reports the fidelity. This is the reproduction's stand-in
 // for dataset accuracy: with synthetic weights the absolute accuracy is
 // meaningless, but the encrypted pipeline must agree with the plaintext
-// network it implements.
-func EvaluateAgreement(pnet *cnn.Network, henet *hecnn.Network, ctx *hecnn.Context, images []*cnn.Tensor) AgreementReport {
+// network it implements. A failed encrypted evaluation (bad input shape,
+// a panic inside the HE pipeline) aborts the batch with the offending
+// image's index — an encrypted run that silently drops images would
+// overstate agreement.
+func EvaluateAgreement(pnet *cnn.Network, henet *hecnn.Network, ctx *hecnn.Context, images []*cnn.Tensor) (AgreementReport, error) {
 	r := AgreementReport{Images: len(images)}
 	var totalErr float64
 	var count int
-	for _, img := range images {
+	for n, img := range images {
 		want := pnet.Infer(img)
-		got, _ := henet.Run(ctx, img)
+		got, _, err := henet.RunChecked(ctx, img)
+		if err != nil {
+			return r, fmt.Errorf("workload: encrypted inference on image %d: %w", n, err)
+		}
 		if cnn.Argmax(got) == cnn.Argmax(want) {
 			r.ArgmaxMatches++
 		}
@@ -116,5 +123,5 @@ func EvaluateAgreement(pnet *cnn.Network, henet *hecnn.Network, ctx *hecnn.Conte
 	if count > 0 {
 		r.MeanAbsError = totalErr / float64(count)
 	}
-	return r
+	return r, nil
 }

@@ -81,7 +81,10 @@ func TestEvaluateAgreement(t *testing.T) {
 	ctx := hecnn.NewContext(params, 43, henet.RotationsNeeded(params.MaxLevel()))
 
 	batch := Batch(pnet, 5, 99)
-	r := EvaluateAgreement(pnet, henet, ctx, batch)
+	r, err := EvaluateAgreement(pnet, henet, ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Images != 5 {
 		t.Fatalf("images %d", r.Images)
 	}
