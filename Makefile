@@ -8,19 +8,26 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the serving-layer gate: static checks plus the fault-injection
-# and protocol suites under the race detector. Run it before touching
-# internal/mlaas, internal/faultnet, or the wire format.
+# verify is the serving-layer gate: static checks plus the fault-injection,
+# protocol, and telemetry suites under the race detector. Run it before
+# touching internal/mlaas, internal/faultnet, internal/telemetry, or the
+# wire format.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/...
+	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/... ./internal/telemetry/... ./internal/hecnn/...
 
 # race runs the whole tree under the race detector (slower than verify).
 race:
 	$(GO) test -race ./...
 
+# bench runs the full benchmark suite and writes BENCH_inference.json
+# with the ns/op of the per-network encrypted-inference benchmarks. The
+# intermediate file keeps go test's exit code visible through the pipe.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_inference.json < bench.out
+	rm -f bench.out
 
 clean:
 	$(GO) clean ./...

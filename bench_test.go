@@ -246,6 +246,59 @@ func BenchmarkMLaaSInference(b *testing.B) {
 	}
 }
 
+// benchInference measures one full functional encrypted inference
+// (pack → encrypt → evaluate → decrypt) for a network/parameter pair.
+// These are the rows of BENCH_inference.json (make bench).
+func benchInference(b *testing.B, pnet *cnn.Network, params ckks.Parameters) {
+	pnet.InitWeights(1)
+	net := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 2, net.RotationsNeeded(params.MaxLevel()))
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(ctx, img)
+	}
+}
+
+func BenchmarkInference_Tiny(b *testing.B) {
+	benchInference(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45))
+}
+
+func BenchmarkInference_TinyConv(b *testing.B) {
+	benchInference(b, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45))
+}
+
+// BenchmarkInference_MNIST is the paper-parameter workload (N=8192):
+// one iteration is ~15 s of software CKKS.
+func BenchmarkInference_MNIST(b *testing.B) {
+	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST())
+}
+
+// BenchmarkEvaluateTracedNilTracer pins (as a benchmark, alongside the
+// AllocsPerRun test in hecnn) that the traced entry point with telemetry
+// disabled adds nothing to the evaluate hot path.
+func BenchmarkEvaluateTracedNilTracer(b *testing.B) {
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(3)
+	net := hecnn.Compile(pnet, 256)
+	rec := hecnn.NewRecorder()
+	be := hecnn.NewCountBackend(rec)
+	conv := net.Layers[0].(*hecnn.ConvPacked)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cts := make([]*hecnn.CT, 0, conv.NumPositions())
+		for j := 0; j < conv.NumPositions(); j++ {
+			cts = append(cts, hecnn.FreshCT(7))
+		}
+		net.EvaluateTraced(be, cts, nil)
+	}
+}
+
 // BenchmarkBatchAgreement measures the encrypted-vs-plaintext agreement
 // sweep over a small structured-image batch.
 func BenchmarkBatchAgreement(b *testing.B) {

@@ -8,6 +8,7 @@
 //	experiments -table 7
 //	experiments -fig 9
 //	experiments -ablations
+//	experiments -measured mnist
 package main
 
 import (
@@ -23,15 +24,22 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (7-10)")
 	abl := flag.Bool("ablations", false, "run the design-choice ablations")
 	packing := flag.Bool("packing", false, "compare LoLa vs batched packing")
+	measured := flag.String("measured", "", "run one live traced inference (tiny, tinyconv, mnist) and print the measured-vs-modeled per-layer table")
 	all := flag.Bool("all", false, "regenerate everything")
 	flag.Parse()
 
 	env := experiments.NewEnv()
 	w := os.Stdout
 
-	if *all || (*table == 0 && *fig == 0 && !*abl && !*packing) {
+	if *all || (*table == 0 && *fig == 0 && !*abl && !*packing && *measured == "") {
 		env.All(w)
 		return
+	}
+	if *measured != "" {
+		if err := env.Measured(w, *measured); err != nil {
+			fmt.Fprintf(os.Stderr, "measured: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *abl {
 		env.Ablations(w)

@@ -10,10 +10,17 @@
 // client inferences and then drains; without -demo the server runs until
 // a signal arrives.
 //
+// Telemetry: -metrics-addr serves the metrics registry (Prometheus text
+// at /metrics, JSON at /metrics.json) plus net/http/pprof under
+// /debug/pprof/; -slow-threshold enables the structured slow-request log
+// with its per-layer breakdown; -digest-interval prints a periodic
+// one-line operational digest (req/s, evaluate p50/p99, busy refusals).
+//
 // Usage:
 //
 //	mlaas-server -addr 127.0.0.1:7100 -max-concurrent 4
 //	mlaas-server -demo 3 -io-timeout 5s
+//	mlaas-server -metrics-addr 127.0.0.1:7190 -slow-threshold 5s -digest-interval 30s
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +39,7 @@ import (
 	"fxhenn/internal/cnn"
 	"fxhenn/internal/hecnn"
 	"fxhenn/internal/mlaas"
+	"fxhenn/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +51,9 @@ func main() {
 	requestBudget := flag.Duration("request-budget", 2*time.Minute, "total wall-clock budget per request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	demo := flag.Int("demo", 0, "serve N in-process demo inferences, then drain and exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty disables)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "log requests slower than this with their per-layer breakdown (0 disables)")
+	digestInterval := flag.Duration("digest-interval", 0, "print a one-line telemetry digest at this interval (0 disables)")
 	flag.Parse()
 
 	var (
@@ -73,10 +85,16 @@ func main() {
 	rlk := kg.GenRelinearizationKey(sk)
 	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
-		MaxConcurrent: *maxConcurrent,
-		IOTimeout:     *ioTimeout,
-		RequestBudget: *requestBudget,
+		MaxConcurrent:        *maxConcurrent,
+		IOTimeout:            *ioTimeout,
+		RequestBudget:        *requestBudget,
+		Metrics:              reg,
+		SlowRequestThreshold: *slowThreshold,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -86,6 +104,24 @@ func main() {
 	}
 	fmt.Printf("mlaas-server: %s on %s (slots=%d io-timeout=%v budget=%v)\n",
 		pnet.Name, l.Addr(), *maxConcurrent, *ioTimeout, *requestBudget)
+
+	if reg != nil {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mlaas-server: metrics and pprof on http://%s/metrics\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, telemetry.NewMux(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "mlaas-server: metrics server stopped: %v\n", err)
+			}
+		}()
+	}
+
+	digestStop := make(chan struct{})
+	defer close(digestStop)
+	go server.RunDigest(os.Stdout, *digestInterval, digestStop)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(l) }()

@@ -1,0 +1,81 @@
+package accel
+
+import (
+	"testing"
+
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/profile"
+	"fxhenn/internal/telemetry"
+)
+
+// TestSimulateStatsMatchesSimulateCycles: the accounting wrapper
+// schedules identically to the plain simulator and its per-op job counts
+// equal the profile's op totals (KeySwitch jobs are level-weighted in
+// cycles, not split).
+func TestSimulateStatsMatchesSimulateCycles(t *testing.T) {
+	d, err := Generate(profile.PaperMNIST(), fpga.ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, streams := range []int{1, 2, 4} {
+		st := SimulateStats(d, streams)
+		if want := SimulateCycles(d, streams); st.Makespan != want {
+			t.Fatalf("streams=%d: stats makespan %d != SimulateCycles %d", streams, st.Makespan, want)
+		}
+		var wantJobs [profile.NumOpClasses]int
+		for i := range d.Profile.Layers {
+			for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+				wantJobs[op] += d.Profile.Layers[i].Ops[op]
+			}
+		}
+		if st.Jobs != wantJobs {
+			t.Fatalf("streams=%d: jobs %v != profile ops %v", streams, st.Jobs, wantJobs)
+		}
+		// Busy cycles per module can never exceed the serial makespan times
+		// its instance count, and the makespan can never beat the busiest
+		// module running alone.
+		var maxBusy int64
+		for op := profile.OpClass(0); op < profile.NumOpClasses; op++ {
+			perInst := st.BusyCycles[op] / int64(d.Solution.Config.Modules[op].Inter)
+			if perInst > maxBusy {
+				maxBusy = perInst
+			}
+		}
+		if st.Makespan < maxBusy {
+			t.Fatalf("streams=%d: makespan %d beats busiest module %d", streams, st.Makespan, maxBusy)
+		}
+		if st.HostWall <= 0 {
+			t.Fatal("host wall-clock not measured")
+		}
+		if st.ModeledSeconds(fpga.ACU9EG.ClockHz) <= 0 {
+			t.Fatal("modeled seconds not positive")
+		}
+	}
+}
+
+// TestSimStatsRecord: Record exports every family; a nil registry is a
+// no-op.
+func TestSimStatsRecord(t *testing.T) {
+	d, err := Generate(profile.PaperMNIST(), fpga.ACU9EG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := SimulateStats(d, 2)
+	st.Record(nil) // must not panic
+
+	reg := telemetry.NewRegistry()
+	st.Record(reg)
+	snap := reg.Snapshot()
+	for _, fam := range []string{MetricSimJobs, MetricSimBusyCycles, MetricSimMakespan, MetricSimHost} {
+		if snap.Family(fam) == nil {
+			t.Fatalf("family %q not exported", fam)
+		}
+	}
+	ksJobs := snap.Family(MetricSimJobs).Metric(telemetry.L("op", profile.KeySwitch.String()))
+	if ksJobs == nil || int(ksJobs.Value) != st.Jobs[profile.KeySwitch] {
+		t.Fatalf("KeySwitch jobs metric %+v != stats %d", ksJobs, st.Jobs[profile.KeySwitch])
+	}
+	if mk := snap.Family(MetricSimMakespan).Metric(); mk.Value != float64(st.Makespan) {
+		t.Fatalf("makespan gauge %v != %d", mk.Value, st.Makespan)
+	}
+}

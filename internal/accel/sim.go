@@ -39,6 +39,12 @@ func (h *instanceHeap) Pop() interface{} {
 // SimulateLayerCycles list-schedules one layer's jobs and returns the
 // makespan in cycles.
 func SimulateLayerCycles(c hemodel.Config, layer *profile.Layer, g hemodel.Geometry, streams int) int64 {
+	return simulateLayer(c, layer, g, streams, nil)
+}
+
+// simulateLayer is the scheduling core; a non-nil st additionally
+// accumulates per-module job counts and busy cycles.
+func simulateLayer(c hemodel.Config, layer *profile.Layer, g hemodel.Geometry, streams int, st *SimStats) int64 {
 	if streams < 1 {
 		streams = 1
 	}
@@ -82,6 +88,10 @@ func SimulateLayerCycles(c hemodel.Config, layer *profile.Layer, g hemodel.Geome
 		streamReady[j.stream] = end
 		if end > makespan {
 			makespan = end
+		}
+		if st != nil {
+			st.Jobs[j.op]++
+			st.BusyCycles[j.op] += j.cycles
 		}
 	}
 	return makespan

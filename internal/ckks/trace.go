@@ -14,7 +14,9 @@ const (
 	OpRescale
 	OpRelin
 	OpRotate
-	numOps
+	// NumOps is the number of distinct operations (array-sizing constant
+	// for per-op accounting).
+	NumOps
 )
 
 // String returns the paper's name for the operation.

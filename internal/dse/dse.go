@@ -115,6 +115,8 @@ func evaluateBudget(c hemodel.Config, p *profile.Network, g hemodel.Geometry, de
 func Explore(p *profile.Network, dev fpga.Device) (*Result, error) {
 	g := hemodel.GeometryFor(p)
 	res := &Result{}
+	obs := beginExplore("explore")
+	defer func() { obs.done(res.Explored, res.Feasible) }()
 	searchSpace(g, func(c hemodel.Config) {
 		s := Evaluate(c, p, g, dev)
 		res.All = append(res.All, s)
@@ -141,6 +143,8 @@ func Explore(p *profile.Network, dev fpga.Device) (*Result, error) {
 func ExploreBRAMBudget(p *profile.Network, dev fpga.Device, bramBudget int) *Result {
 	g := hemodel.GeometryFor(p)
 	res := &Result{}
+	obs := beginExplore("budget")
+	defer func() { obs.done(res.Explored, res.Feasible) }()
 	searchSpace(g, func(c hemodel.Config) {
 		s := evaluateBudget(c, p, g, dev, bramBudget)
 		s.Feasible = s.Feasible && s.FitsOnChip

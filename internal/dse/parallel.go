@@ -16,6 +16,7 @@ import (
 // budget ladder, multi-network studies) scale with cores.
 func ExploreParallel(p *profile.Network, dev fpga.Device) (*Result, error) {
 	g := hemodel.GeometryFor(p)
+	obs := beginExplore("parallel")
 
 	// Materialize the space first: the generator is cheap relative to the
 	// evaluations.
@@ -60,6 +61,7 @@ func ExploreParallel(p *profile.Network, dev fpga.Device) (*Result, error) {
 			res.Best = s
 		}
 	}
+	obs.done(res.Explored, res.Feasible)
 	if res.Best == nil {
 		return res, errNoFeasible(p, dev)
 	}

@@ -1,0 +1,116 @@
+package experiments
+
+// Measured-vs-modeled: one live traced encrypted inference on the host
+// (software CKKS, per-layer telemetry harvested from the ckks trace)
+// printed next to the modeled FPGA per-layer latency of the accelerator
+// design generated for the same workload. The measured column flows
+// through a telemetry.Registry snapshot — the same exposition path a
+// serving deployment scrapes — rather than straight from the tracer, so
+// the table exercises the full pipeline: trace → metrics → snapshot →
+// report.
+
+import (
+	"fmt"
+	"io"
+
+	"fxhenn/internal/accel"
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/fpga"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/profile"
+	"fxhenn/internal/report"
+	"fxhenn/internal/telemetry"
+)
+
+// measuredWorkloads maps -measured flag values to a plaintext network and
+// CKKS parameters. The tiny nets keep the live run under a second; mnist
+// is the paper's workload (~15 s of software CKKS).
+func measuredWorkload(name string) (*cnn.Network, ckks.Parameters, error) {
+	switch name {
+	case "tiny":
+		return cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45), nil
+	case "tinyconv":
+		return cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45), nil
+	case "mnist":
+		return cnn.NewMNISTNet(), ckks.ParamsMNIST(), nil
+	}
+	return nil, ckks.Parameters{}, fmt.Errorf("unknown measured workload %q (tiny, tinyconv, mnist)", name)
+}
+
+// Measured runs one live traced encrypted inference of the named workload
+// and prints the per-layer measured (host) vs modeled (FPGA) table.
+func (e *Env) Measured(w io.Writer, name string) error {
+	pnet, params, err := measuredWorkload(name)
+	if err != nil {
+		return err
+	}
+	pnet.InitWeights(7)
+	net := hecnn.Compile(pnet, params.Slots())
+	ctx := hecnn.NewContext(params, 7, net.RotationsNeeded(params.MaxLevel()))
+
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	_, rec, stats := net.RunTraced(ctx, img)
+
+	// Route the per-layer measurements through a registry snapshot — the
+	// same families the MLaaS server exports.
+	reg := telemetry.NewRegistry()
+	for _, st := range stats {
+		lbls := []telemetry.Label{telemetry.L("net", net.Name), telemetry.L("layer", st.Layer)}
+		reg.Histogram("hecnn_layer_seconds", "per-layer evaluate wall time", nil, lbls...).
+			Observe(st.Wall.Seconds())
+		reg.Counter("hecnn_layer_hops_total", "per-layer HE operations", lbls...).Add(int64(st.HOPs))
+		reg.Counter("hecnn_layer_keyswitches_total", "per-layer KeySwitches", lbls...).Add(int64(st.KeySwitches))
+	}
+
+	// The modeled side: generate the accelerator for the profile derived
+	// from this very trace and take its per-layer latency report.
+	prof := profile.FromRecorder("measured-"+name, rec, params.LogN, params.L, params.QBits, 128)
+	dev := fpga.ACU9EG
+	design, err := accel.Generate(prof, dev)
+	if err != nil {
+		return err
+	}
+	perLayer := design.PerLayer()
+	sim := accel.SimulateStats(design, 2)
+	sim.Record(reg)
+
+	snap := reg.Snapshot()
+	t := &report.Table{
+		Title:   fmt.Sprintf("Measured vs modeled per-layer latency: %s (host CKKS vs %s model)", net.Name, dev.Name),
+		Headers: []string{"layer", "HOPs", "KS", "host ms (measured)", "FPGA ms (modeled)", "host/FPGA"},
+	}
+	var hostTotal, fpgaTotal float64
+	for _, lr := range perLayer {
+		lbls := []telemetry.Label{telemetry.L("net", net.Name), telemetry.L("layer", lr.Name)}
+		m := snap.Family("hecnn_layer_seconds").Metric(lbls...)
+		if m == nil || m.Count == 0 {
+			return fmt.Errorf("layer %s missing from telemetry snapshot", lr.Name)
+		}
+		hostMs := m.Sum * 1e3
+		fpgaMs := lr.Seconds * 1e3
+		hostTotal += hostMs
+		fpgaTotal += fpgaMs
+		hops := snap.Family("hecnn_layer_hops_total").Metric(lbls...)
+		ks := snap.Family("hecnn_layer_keyswitches_total").Metric(lbls...)
+		ratio := report.Dash
+		if fpgaMs > 0 {
+			ratio = report.F(hostMs / fpgaMs)
+		}
+		t.AddRow(lr.Name, report.I(int(hops.Value)), report.I(int(ks.Value)),
+			report.F(hostMs), report.F(fpgaMs), ratio)
+	}
+	ratio := report.Dash
+	if fpgaTotal > 0 {
+		ratio = report.F(hostTotal / fpgaTotal)
+	}
+	t.AddRow("total", report.I(rec.TotalHOPs()), report.I(rec.TotalKeySwitches()),
+		report.F(hostTotal), report.F(fpgaTotal), ratio)
+	t.AddNote("measured: software CKKS on this host, one traced inference; modeled: %s at %.0f MHz; simulated makespan %.2f ms (host sim %.2fs)",
+		dev.Name, dev.ClockHz/1e6, sim.ModeledSeconds(dev.ClockHz)*1e3, sim.HostWall.Seconds())
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMeasuredTableRenders: the measured-vs-modeled table runs a real
+// traced encrypted inference (tiny geometry) and prints one row per
+// layer plus a total, with live HOP counts, and rejects unknown names.
+func TestMeasuredTableRenders(t *testing.T) {
+	e := getEnv(t)
+	var buf bytes.Buffer
+	if err := e.Measured(&buf, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Measured vs modeled", "host ms (measured)", "FPGA ms (modeled)",
+		"Cnv1", "Fc2", "total", "simulated makespan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("measured table missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := e.Measured(&buf, "nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -281,6 +281,11 @@ func wrap(ct *ckks.Ciphertext) *CT {
 // the network) as a layer input handle.
 func WrapCiphertext(ct *ckks.Ciphertext) *CT { return wrap(ct) }
 
+// FreshCT returns a cryptography-free ciphertext handle at the given
+// level — an input for count-backend dry runs driven from outside the
+// package (benchmarks, tooling). Crypto backends reject it.
+func FreshCT(level int) *CT { return &CT{level: level, scale: 1} }
+
 // Ciphertext returns the underlying CKKS ciphertext of a crypto-backend
 // handle (nil for counting-backend handles).
 func (c *CT) Ciphertext() *ckks.Ciphertext { return c.ct }

@@ -170,18 +170,24 @@ func (n *Network) PackInput(img *cnn.Tensor) [][]float64 {
 // without any cryptography. startLevel is the fresh-ciphertext level
 // (normally params.MaxLevel()).
 func (n *Network) Count(startLevel int) *Recorder {
+	rec, _ := n.CountTraced(startLevel)
+	return rec
+}
+
+// CountTraced is Count with a live Tracer: the same cryptography-free dry
+// run, additionally returning the per-layer stats (op counts harvested
+// from the trace, plus the — here negligible — wall times).
+func (n *Network) CountTraced(startLevel int) (*Recorder, []LayerStat) {
 	rec := NewRecorder()
 	b := NewCountBackend(rec)
-	in := &State{Kind: Contiguous, N: 0}
+	tr := NewTracer(rec)
 	conv := n.Layers[0].(*ConvPacked)
+	cts := make([]*CT, 0, conv.NumPositions())
 	for i := 0; i < conv.NumPositions(); i++ {
-		in.CTs = append(in.CTs, &CT{level: startLevel, scale: 1})
+		cts = append(cts, &CT{level: startLevel, scale: 1})
 	}
-	s := in
-	for _, l := range n.Layers {
-		s = l.Apply(b, s)
-	}
-	return rec
+	n.EvaluateTraced(b, cts, tr)
+	return rec, tr.Stats
 }
 
 // EvaluateEncrypted runs the layers on already-encrypted packed inputs,
@@ -189,9 +195,25 @@ func (n *Network) Count(startLevel int) *Recorder {
 // entry point: it needs evaluation keys and the model weights but never the
 // secret key.
 func (n *Network) EvaluateEncrypted(b Backend, cts []*CT) *CT {
+	return n.EvaluateTraced(b, cts, nil)
+}
+
+// EvaluateTraced is EvaluateEncrypted with optional per-layer telemetry:
+// a non-nil tracer records each layer's wall time and op counts (see
+// Tracer). A nil tracer takes the exact untimed path of
+// EvaluateEncrypted — zero added work, zero added allocations (pinned by
+// TestEvaluateTracedNilAddsNothing).
+func (n *Network) EvaluateTraced(b Backend, cts []*CT, tr *Tracer) *CT {
 	s := &State{Kind: Contiguous, CTs: cts}
-	for _, l := range n.Layers {
-		s = l.Apply(b, s)
+	if tr == nil {
+		for _, l := range n.Layers {
+			s = l.Apply(b, s)
+		}
+	} else {
+		tr.Stats = tr.Stats[:0]
+		for _, l := range n.Layers {
+			s = tr.applyLayer(b, l, s)
+		}
 	}
 	if len(s.CTs) != 1 {
 		panic("hecnn: network did not end in a single ciphertext")
@@ -212,6 +234,22 @@ func (n *Network) Run(ctx *Context, img *cnn.Tensor) ([]float64, *Recorder) {
 	out := ctx.DecryptVector(n.EvaluateEncrypted(b, cts))
 	lastRows := n.Layers[len(n.Layers)-1].OutElems()
 	return out[:lastRows], rec
+}
+
+// RunTraced is Run with per-layer telemetry: pack, encrypt, evaluate with
+// a live Tracer, decrypt. It returns the logits, the op trace, and the
+// per-layer wall-time/op-count stats of this single inference.
+func (n *Network) RunTraced(ctx *Context, img *cnn.Tensor) ([]float64, *Recorder, []LayerStat) {
+	rec := NewRecorder()
+	b := NewCryptoBackend(ctx, rec)
+	tr := NewTracer(rec)
+	var cts []*CT
+	for _, v := range n.PackInput(img) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	out := ctx.DecryptVector(n.EvaluateTraced(b, cts, tr))
+	lastRows := n.Layers[len(n.Layers)-1].OutElems()
+	return out[:lastRows], rec, tr.Stats
 }
 
 // RotationsNeeded dry-runs the network and returns the rotation amounts to

@@ -1,0 +1,97 @@
+package hecnn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fxhenn/internal/ckks"
+)
+
+// LayerStat is the telemetry record of one executed HE-CNN layer: the
+// paper's Table-IV-shaped row (layer, HOP count, KS count, level) plus
+// the measured wall time and the per-op breakdown. Op counts are
+// harvested from the same ckks trace events the dry-run profiles are
+// built from, so a live run and Network.Count agree exactly.
+type LayerStat struct {
+	Layer       string
+	Wall        time.Duration
+	HOPs        int
+	KeySwitches int
+	// Level is the highest ciphertext level the layer's operations ran
+	// at (the paper's convention; 0 if the layer recorded no ops).
+	Level int
+	// Ops[op] counts events per ckks operation.
+	Ops [ckks.NumOps]int
+}
+
+// Tracer instruments an evaluation with per-layer wall-clock spans and op
+// accounting. Rec must be the same Recorder the Backend records into —
+// the tracer harvests each layer's event delta from it after the layer
+// runs. Stats accumulates one entry per executed layer; Sink, when set,
+// additionally receives each entry as the layer completes (for registry
+// recording or slow-request logs).
+type Tracer struct {
+	Rec   *Recorder
+	Sink  func(LayerStat)
+	Stats []LayerStat
+}
+
+// NewTracer builds a tracer harvesting from rec.
+func NewTracer(rec *Recorder) *Tracer { return &Tracer{Rec: rec} }
+
+// applyLayer times one layer and harvests its op-count delta.
+func (tr *Tracer) applyLayer(b Backend, l Layer, s *State) *State {
+	name := l.Name()
+	before := 0
+	if le := tr.Rec.Layer(name); le != nil {
+		before = len(le.Events)
+	}
+	start := time.Now()
+	out := l.Apply(b, s)
+	st := LayerStat{Layer: name, Wall: time.Since(start)}
+	if le := tr.Rec.Layer(name); le != nil {
+		for _, e := range le.Events[before:] {
+			st.Ops[e.Op]++
+			st.HOPs++
+			if e.Op.IsKeySwitch() {
+				st.KeySwitches++
+			}
+			if e.Level > st.Level {
+				st.Level = e.Level
+			}
+		}
+	}
+	tr.Stats = append(tr.Stats, st)
+	if tr.Sink != nil {
+		tr.Sink(st)
+	}
+	return out
+}
+
+// TotalWall sums the layer wall times of the last evaluation.
+func (tr *Tracer) TotalWall() time.Duration {
+	var d time.Duration
+	for i := range tr.Stats {
+		d += tr.Stats[i].Wall
+	}
+	return d
+}
+
+// WriteLayerTable renders the per-layer stats as the live counterpart of
+// the paper's Table IV: one row per layer with wall time, HOP count,
+// KeySwitch count, and level.
+func WriteLayerTable(w io.Writer, stats []LayerStat) {
+	fmt.Fprintf(w, "%-8s %12s %6s %5s %6s\n", "Layer", "Wall", "HOPs", "KS", "Level")
+	var wall time.Duration
+	var hops, ks int
+	for i := range stats {
+		st := &stats[i]
+		fmt.Fprintf(w, "%-8s %12s %6d %5d %6d\n",
+			st.Layer, st.Wall.Round(time.Microsecond), st.HOPs, st.KeySwitches, st.Level)
+		wall += st.Wall
+		hops += st.HOPs
+		ks += st.KeySwitches
+	}
+	fmt.Fprintf(w, "%-8s %12s %6d %5d\n", "total", wall.Round(time.Microsecond), hops, ks)
+}

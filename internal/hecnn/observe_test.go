@@ -1,0 +1,199 @@
+package hecnn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+)
+
+// tracedFixture runs one real encrypted inference with a live tracer and
+// returns the tracer plus the recorder the backend wrote into.
+func tracedFixture(t *testing.T, pnet *cnn.Network, params ckks.Parameters) (*Tracer, *Recorder, *Network) {
+	t.Helper()
+	pnet.InitWeights(7)
+	net := Compile(pnet, params.Slots())
+	ctx := NewContext(params, 7, net.RotationsNeeded(params.MaxLevel()))
+
+	rec := NewRecorder()
+	b := NewCryptoBackend(ctx, rec)
+	tr := NewTracer(rec)
+	var cts []*CT
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	for _, v := range net.PackInput(img) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	net.EvaluateTraced(b, cts, tr)
+	return tr, rec, net
+}
+
+// TestEvaluateTracedMatchesRecorderExactly pins the acceptance criterion:
+// a live (real-crypto) inference with telemetry enabled emits a per-layer
+// table whose op counts match the ckks trace exactly.
+func TestEvaluateTracedMatchesRecorderExactly(t *testing.T) {
+	tr, rec, net := tracedFixture(t, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45))
+
+	if len(tr.Stats) != len(net.Layers) {
+		t.Fatalf("stats for %d layers, network has %d", len(tr.Stats), len(net.Layers))
+	}
+	for i, st := range tr.Stats {
+		le := rec.Layer(st.Layer)
+		if le == nil {
+			t.Fatalf("layer %q missing from recorder", st.Layer)
+		}
+		if st.Layer != net.Layers[i].Name() {
+			t.Fatalf("stat %d is %q, want layer order %q", i, st.Layer, net.Layers[i].Name())
+		}
+		if st.HOPs != le.HOPs() {
+			t.Fatalf("%s: stat HOPs %d != trace %d", st.Layer, st.HOPs, le.HOPs())
+		}
+		if st.KeySwitches != le.KeySwitches() {
+			t.Fatalf("%s: stat KS %d != trace %d", st.Layer, st.KeySwitches, le.KeySwitches())
+		}
+		for op := ckks.Op(0); op < ckks.NumOps; op++ {
+			if st.Ops[op] != le.Count(op) {
+				t.Fatalf("%s: op %v count %d != trace %d", st.Layer, op, st.Ops[op], le.Count(op))
+			}
+		}
+		wantLevel := 0
+		for _, e := range le.Events {
+			if e.Level > wantLevel {
+				wantLevel = e.Level
+			}
+		}
+		if st.Level != wantLevel {
+			t.Fatalf("%s: level %d != trace max level %d", st.Layer, st.Level, wantLevel)
+		}
+		if st.Wall <= 0 {
+			t.Fatalf("%s: non-positive wall time %v", st.Layer, st.Wall)
+		}
+	}
+	if tr.TotalWall() <= 0 {
+		t.Fatal("total wall time not positive")
+	}
+}
+
+// TestTracedStatsSumToRecorderTotals: the per-layer stats aggregate to the
+// recorder's HOP/KS totals (Table VI/VII shape).
+func TestTracedStatsSumToRecorderTotals(t *testing.T) {
+	tr, rec, _ := tracedFixture(t, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45))
+	hops, ks := 0, 0
+	for _, st := range tr.Stats {
+		hops += st.HOPs
+		ks += st.KeySwitches
+	}
+	if hops != rec.TotalHOPs() || ks != rec.TotalKeySwitches() {
+		t.Fatalf("stats total %d/%d != recorder %d/%d", hops, ks, rec.TotalHOPs(), rec.TotalKeySwitches())
+	}
+}
+
+// TestLiveMNISTEmitsPaperShapedTable runs a real encrypted FxHENN-MNIST
+// inference (N=8192, the paper's parameters) with telemetry enabled and
+// checks the emitted per-layer table against the ckks trace. ~15s of real
+// CKKS; skipped under -short.
+func TestLiveMNISTEmitsPaperShapedTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-parameter encrypted MNIST inference (~15s)")
+	}
+	tr, rec, net := tracedFixture(t, cnn.NewMNISTNet(), ckks.ParamsMNIST())
+	if len(tr.Stats) != len(net.Layers) {
+		t.Fatalf("stats for %d layers, want %d", len(tr.Stats), len(net.Layers))
+	}
+	hops := 0
+	for _, st := range tr.Stats {
+		le := rec.Layer(st.Layer)
+		if st.HOPs != le.HOPs() || st.KeySwitches != le.KeySwitches() {
+			t.Fatalf("%s: live table %d/%d != trace %d/%d",
+				st.Layer, st.HOPs, st.KeySwitches, le.HOPs(), le.KeySwitches())
+		}
+		if st.Wall <= 0 {
+			t.Fatalf("%s: no wall time measured", st.Layer)
+		}
+		hops += st.HOPs
+	}
+	if hops != rec.TotalHOPs() {
+		t.Fatalf("table HOPs %d != trace %d", hops, rec.TotalHOPs())
+	}
+	// Cnv1 is pinned exactly by Listing 1: 25 × (PCmult, Rescale, CCadd−1) + bias.
+	if cnv1 := tr.Stats[0]; cnv1.HOPs != 75 {
+		t.Fatalf("Cnv1 HOPs %d, want 75 (Table IV)", cnv1.HOPs)
+	}
+	var sb strings.Builder
+	WriteLayerTable(&sb, tr.Stats)
+	for _, want := range []string{"Layer", "Cnv1", "total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("layer table missing %q:\n%s", want, sb.String())
+		}
+	}
+	t.Logf("live FxHENN-MNIST per-layer table:\n%s", sb.String())
+}
+
+// TestEvaluateTracedNilAddsNothing pins the acceptance criterion that the
+// traced entry point with telemetry disabled (nil tracer) allocates
+// exactly as much as the raw layer loop — zero added allocations on the
+// inference hot path.
+func TestEvaluateTracedNilAddsNothing(t *testing.T) {
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(3)
+	net := Compile(pnet, 256)
+	mkInputs := func() []*CT {
+		conv := net.Layers[0].(*ConvPacked)
+		cts := make([]*CT, conv.NumPositions())
+		for i := range cts {
+			cts[i] = &CT{level: 7, scale: 1}
+		}
+		return cts
+	}
+
+	base := testing.AllocsPerRun(20, func() {
+		b := NewCountBackend(NewRecorder())
+		s := &State{Kind: Contiguous, CTs: mkInputs()}
+		for _, l := range net.Layers {
+			s = l.Apply(b, s)
+		}
+	})
+	traced := testing.AllocsPerRun(20, func() {
+		b := NewCountBackend(NewRecorder())
+		net.EvaluateTraced(b, mkInputs(), nil)
+	})
+	if math.Abs(traced-base) > 0.5 {
+		t.Fatalf("nil-tracer evaluate allocates %.1f/run, raw loop %.1f/run — telemetry-disabled path must add zero allocations", traced, base)
+	}
+}
+
+// TestTracerSinkStreamsLayers: the sink sees each layer once, in order.
+func TestTracerSinkStreamsLayers(t *testing.T) {
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(3)
+	net := Compile(pnet, 256)
+	rec := NewRecorder()
+	b := NewCountBackend(rec)
+	tr := NewTracer(rec)
+	var seen []string
+	tr.Sink = func(st LayerStat) { seen = append(seen, st.Layer) }
+
+	conv := net.Layers[0].(*ConvPacked)
+	cts := make([]*CT, conv.NumPositions())
+	for i := range cts {
+		cts[i] = &CT{level: 7, scale: 1}
+	}
+	net.EvaluateTraced(b, cts, tr)
+	if len(seen) != len(net.Layers) {
+		t.Fatalf("sink saw %d layers, want %d", len(seen), len(net.Layers))
+	}
+	for i, l := range net.Layers {
+		if seen[i] != l.Name() {
+			t.Fatalf("sink order[%d] = %q, want %q", i, seen[i], l.Name())
+		}
+	}
+	// Re-running with the same tracer resets Stats (no unbounded growth).
+	net.EvaluateTraced(b, cts, tr)
+	if len(tr.Stats) != len(net.Layers) {
+		t.Fatalf("stats grew across runs: %d", len(tr.Stats))
+	}
+}

@@ -30,12 +30,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/cnn"
 	"fxhenn/internal/hecnn"
+	"fxhenn/internal/telemetry"
 )
 
 // maxRequestCiphertexts bounds a request so a malicious client cannot force
@@ -62,6 +65,20 @@ type Config struct {
 	// RequestBudget is the absolute wall-clock budget for one exchange,
 	// admission to final byte. Default 2m.
 	RequestBudget time.Duration
+
+	// Metrics, when non-nil, receives the server's telemetry: request
+	// counters by status, phase/request latency histograms, the in-flight
+	// gauge, and per-layer evaluate breakdowns (see the Metric* names in
+	// telemetry.go). Nil disables metrics with zero added work on the
+	// request path.
+	Metrics *telemetry.Registry
+	// SlowRequestThreshold gates the slow-request log: an exchange whose
+	// total time reaches it is logged with its per-phase and per-layer
+	// span breakdown. Zero disables the log.
+	SlowRequestThreshold time.Duration
+	// SlowRequestLog receives slow-request lines. Defaults to os.Stderr
+	// when SlowRequestThreshold is set.
+	SlowRequestLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestBudget <= 0 {
 		c.RequestBudget = 2 * time.Minute
+	}
+	if c.SlowRequestThreshold > 0 && c.SlowRequestLog == nil {
+		c.SlowRequestLog = os.Stderr
 	}
 	return c
 }
@@ -95,6 +115,15 @@ type Server struct {
 	ctx    *hecnn.Context
 	cfg    Config
 	sem    chan struct{}
+
+	// met is nil when Config.Metrics is nil; reqSeq tags every exchange
+	// with a monotonically increasing id that appears in failure messages
+	// and the slow-request log, correlating client-observed errors with
+	// server telemetry.
+	met     *serverMetrics
+	reqSeq  atomic.Uint64
+	slowMu  sync.Mutex
+	slowLog io.Writer
 
 	mu        sync.Mutex
 	stats     Stats
@@ -130,10 +159,17 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		},
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		met:       newServerMetrics(cfg.Metrics, henet),
+		slowLog:   cfg.SlowRequestLog,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drained:   make(chan struct{}),
 	}
+}
+
+// observes reports whether requests need a trace (metrics or slow log).
+func (s *Server) observes() bool {
+	return s.met != nil || (s.cfg.SlowRequestThreshold > 0 && s.slowLog != nil)
 }
 
 // Served returns the number of completed inferences.
@@ -267,19 +303,30 @@ func (s *Server) Handle(rw io.ReadWriter) {
 
 // handleRequest runs the exchange and reports whether unread request
 // bytes may remain on the wire (i.e. the request was refused or failed).
+// Every exchange — including refusals — is tagged with a monotonically
+// increasing request id that prefixes failure messages and keys the
+// slow-request log.
 func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
+	reqID := s.reqSeq.Add(1)
+	var rt *reqTrace
+	if s.observes() {
+		rt = &reqTrace{id: reqID, start: time.Now()}
+	}
 	trw := newTimedRW(rw, s.cfg.IOTimeout, time.Time{})
 
 	s.mu.Lock()
 	if s.draining {
 		s.stats.Rejected++
 		s.mu.Unlock()
-		s.writeFailure(trw, StatusShuttingDown, "server is shutting down")
+		s.outcome(rt, StatusShuttingDown)
+		s.writeFailure(trw, StatusShuttingDown, fmt.Sprintf("req %d: server is shutting down", reqID))
 		return true
 	}
 	s.inflight++
 	s.mu.Unlock()
+	s.met.inflightAdd(1)
 	defer func() {
+		s.met.inflightAdd(-1)
 		s.mu.Lock()
 		s.inflight--
 		if s.draining && s.inflight == 0 {
@@ -288,20 +335,24 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 		s.mu.Unlock()
 	}()
 
+	admitted := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		rt.timePhase(phaseQueue, time.Since(admitted))
 		defer func() { <-s.sem }()
 	default:
 		s.mu.Lock()
 		s.stats.Rejected++
 		s.mu.Unlock()
-		s.writeFailure(trw, StatusBusy, fmt.Sprintf("server at capacity (%d concurrent)", s.cfg.MaxConcurrent))
+		s.outcome(rt, StatusBusy)
+		s.writeFailure(trw, StatusBusy, fmt.Sprintf("req %d: server at capacity (%d concurrent)", reqID, s.cfg.MaxConcurrent))
 		return true
 	}
 
 	trw.abs = time.Now().Add(s.cfg.RequestBudget)
-	err := s.serveRequest(trw)
+	err := s.serveRequest(trw, rt)
 	if err == nil {
+		s.outcome(rt, StatusOK)
 		return false
 	}
 	var we *wireError
@@ -318,24 +369,27 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 		s.stats.BadRequests++
 	}
 	s.mu.Unlock()
+	s.outcome(rt, we.status)
 	// The failure report gets one fresh I/O window even when the request
 	// died by exhausting its budget.
 	trw.abs = time.Now().Add(s.cfg.IOTimeout)
-	s.writeFailure(trw, we.status, we.msg)
+	s.writeFailure(trw, we.status, fmt.Sprintf("req %d: %s", reqID, we.msg))
 	return true
 }
 
-// serveRequest runs one exchange. Any panic below it — corrupt
-// ciphertext structure surviving validation, scale drift in the
-// evaluator, a bug in a layer kernel — is confined to this request and
-// surfaced as StatusInternal.
-func (s *Server) serveRequest(rw io.ReadWriter) (err error) {
+// serveRequest runs one exchange, timing each lifecycle phase into rt
+// (nil rt skips all timing). Any panic below it — corrupt ciphertext
+// structure surviving validation, scale drift in the evaluator, a bug
+// in a layer kernel — is confined to this request and surfaced as
+// StatusInternal.
+func (s *Server) serveRequest(rw io.ReadWriter, rt *reqTrace) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &wireError{StatusInternal, fmt.Sprintf("evaluation panic: %v", r)}
 		}
 	}()
 
+	phaseStart := time.Now()
 	var cntBuf [4]byte
 	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
 		return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
@@ -358,14 +412,41 @@ func (s *Server) serveRequest(rw io.ReadWriter) (err error) {
 		}
 		cts = append(cts, hecnn.WrapCiphertext(ct))
 	}
+	if rt != nil {
+		now := time.Now()
+		rt.timePhase(phaseDecode, now.Sub(phaseStart))
+		phaseStart = now
+	}
 	if err := s.net.ValidateCiphertexts(cts, s.params.MaxLevel()); err != nil {
 		return &wireError{StatusBadRequest, err.Error()}
+	}
+	if rt != nil {
+		now := time.Now()
+		rt.timePhase(phaseValidate, now.Sub(phaseStart))
+		phaseStart = now
 	}
 
 	if s.testEvalHook != nil {
 		s.testEvalHook()
 	}
-	out := s.net.EvaluateEncrypted(hecnn.NewCryptoBackend(s.ctx, nil), cts)
+	var out *hecnn.CT
+	if rt != nil {
+		// Traced path: a per-request recorder feeds the tracer so the
+		// per-layer table in the slow-request log and the layer metric
+		// families come straight from the ckks trace of this inference.
+		rec := hecnn.NewRecorder()
+		tr := hecnn.NewTracer(rec)
+		if s.met != nil {
+			tr.Sink = s.met.observeLayer
+		}
+		out = s.net.EvaluateTraced(hecnn.NewCryptoBackend(s.ctx, rec), cts, tr)
+		rt.layers = tr.Stats
+		now := time.Now()
+		rt.timePhase(phaseEvaluate, now.Sub(phaseStart))
+		phaseStart = now
+	} else {
+		out = s.net.EvaluateEncrypted(hecnn.NewCryptoBackend(s.ctx, nil), cts)
+	}
 
 	if _, err := rw.Write([]byte{byte(StatusOK)}); err != nil {
 		return nil // client gone; nothing to report
@@ -373,6 +454,7 @@ func (s *Server) serveRequest(rw io.ReadWriter) (err error) {
 	if _, err := out.Ciphertext().WriteTo(rw); err != nil {
 		return nil
 	}
+	rt.timePhase(phaseEncode, time.Since(phaseStart))
 	s.mu.Lock()
 	s.stats.Served++
 	s.mu.Unlock()

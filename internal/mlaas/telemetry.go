@@ -1,0 +1,261 @@
+package mlaas
+
+// This file is the server-side telemetry: pre-resolved metric handles,
+// the per-request phase trace behind the slow-request log, and the
+// periodic one-line digest. Handles are resolved once at server
+// construction so the request hot path only touches atomics; with
+// telemetry disabled (Config.Metrics nil and no slow-log threshold) the
+// request path is bit-for-bit the untraced one.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/telemetry"
+)
+
+// Metric families exported by the server. Phase labels follow the
+// request lifecycle: queue (admission to evaluation slot), decode (wire
+// → ciphertexts), validate, evaluate (the HE-CNN), encode (result →
+// wire).
+const (
+	MetricRequestsTotal  = "mlaas_requests_total"  // counter{status}
+	MetricPhaseSeconds   = "mlaas_phase_seconds"   // histogram{phase}
+	MetricRequestSeconds = "mlaas_request_seconds" // histogram
+	MetricInflight       = "mlaas_inflight"        // gauge
+	MetricSlowRequests   = "mlaas_slow_requests_total"
+	MetricLayerSeconds   = "hecnn_layer_seconds"    // histogram{net,layer}
+	MetricLayerHOPs      = "hecnn_layer_hops_total" // counter{net,layer}
+	MetricLayerKS        = "hecnn_layer_keyswitches_total"
+)
+
+// phase indexes the request lifecycle histograms.
+type phase int
+
+const (
+	phaseQueue phase = iota
+	phaseDecode
+	phaseValidate
+	phaseEvaluate
+	phaseEncode
+	numPhases
+)
+
+func (p phase) String() string {
+	return [...]string{"queue", "decode", "validate", "evaluate", "encode"}[p]
+}
+
+// layerMetrics is the pre-resolved per-layer sink.
+type layerMetrics struct {
+	seconds *telemetry.Histogram
+	hops    *telemetry.Counter
+	ks      *telemetry.Counter
+}
+
+// serverMetrics holds every handle the request path needs, resolved once.
+type serverMetrics struct {
+	requests [5]*telemetry.Counter // indexed by Status
+	phases   [numPhases]*telemetry.Histogram
+	request  *telemetry.Histogram
+	inflight *telemetry.Gauge
+	slow     *telemetry.Counter
+	layers   map[string]layerMetrics
+}
+
+func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{layers: map[string]layerMetrics{}}
+	for st := StatusOK; st <= StatusShuttingDown; st++ {
+		m.requests[st] = reg.Counter(MetricRequestsTotal,
+			"completed exchanges by typed wire status", telemetry.L("status", st.String()))
+	}
+	for p := phase(0); p < numPhases; p++ {
+		m.phases[p] = reg.Histogram(MetricPhaseSeconds,
+			"request lifecycle phase latency", nil, telemetry.L("phase", p.String()))
+	}
+	m.request = reg.Histogram(MetricRequestSeconds, "whole-exchange latency", nil)
+	m.inflight = reg.Gauge(MetricInflight, "admitted requests currently in flight")
+	m.slow = reg.Counter(MetricSlowRequests, "requests over the slow-request threshold")
+	for _, l := range henet.Layers {
+		m.layers[l.Name()] = layerMetrics{
+			seconds: reg.Histogram(MetricLayerSeconds, "per-layer evaluate wall time", nil,
+				telemetry.L("net", henet.Name), telemetry.L("layer", l.Name())),
+			hops: reg.Counter(MetricLayerHOPs, "per-layer HE operations executed",
+				telemetry.L("net", henet.Name), telemetry.L("layer", l.Name())),
+			ks: reg.Counter(MetricLayerKS, "per-layer KeySwitch operations executed",
+				telemetry.L("net", henet.Name), telemetry.L("layer", l.Name())),
+		}
+	}
+	return m
+}
+
+// inflightAdd moves the in-flight gauge; nil-safe so the request path
+// needs no branch when telemetry is disabled.
+func (m *serverMetrics) inflightAdd(d float64) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(d)
+}
+
+// observeLayer is the hecnn.Tracer sink: one call per completed layer.
+func (m *serverMetrics) observeLayer(st hecnn.LayerStat) {
+	if m == nil {
+		return
+	}
+	lm, ok := m.layers[st.Layer]
+	if !ok {
+		return
+	}
+	lm.seconds.Observe(st.Wall.Seconds())
+	lm.hops.Add(int64(st.HOPs))
+	lm.ks.Add(int64(st.KeySwitches))
+}
+
+// reqTrace carries one request's phase timings and layer breakdown from
+// admission to outcome. It exists only when the server observes requests
+// (metrics or slow-request log enabled).
+type reqTrace struct {
+	id     uint64
+	start  time.Time
+	phases [numPhases]time.Duration
+	layers []hecnn.LayerStat
+}
+
+// timePhase records d against p (keeping the max on re-entry, which
+// cannot happen in the current flow but keeps the trace sane if it ever
+// does).
+func (rt *reqTrace) timePhase(p phase, d time.Duration) {
+	if rt == nil {
+		return
+	}
+	rt.phases[p] += d
+}
+
+// outcome finalizes a request: status counter, phase histograms,
+// whole-request histogram, and — when over the threshold — one
+// structured slow-request log line with the per-layer span breakdown.
+func (s *Server) outcome(rt *reqTrace, st Status) {
+	m := s.met
+	if m != nil {
+		m.requests[st].Inc()
+	}
+	if rt == nil {
+		return
+	}
+	total := time.Since(rt.start)
+	if m != nil {
+		for p := phase(0); p < numPhases; p++ {
+			if rt.phases[p] > 0 {
+				m.phases[p].Observe(rt.phases[p].Seconds())
+			}
+		}
+		m.request.Observe(total.Seconds())
+	}
+	if s.cfg.SlowRequestThreshold > 0 && total >= s.cfg.SlowRequestThreshold && s.slowLog != nil {
+		if m != nil {
+			m.slow.Inc()
+		}
+		s.logSlow(rt, st, total)
+	}
+}
+
+// logSlow writes the structured slow-request line: request id, status,
+// total, per-phase times, and the per-layer evaluate breakdown.
+func (s *Server) logSlow(rt *reqTrace, st Status, total time.Duration) {
+	span := telemetry.CompletedSpan("request", total,
+		telemetry.L("req", strconv.FormatUint(rt.id, 10)),
+		telemetry.L("status", st.String()))
+	for p := phase(0); p < numPhases; p++ {
+		if rt.phases[p] <= 0 {
+			continue
+		}
+		ps := telemetry.CompletedSpan(p.String(), rt.phases[p])
+		if p == phaseEvaluate {
+			for i := range rt.layers {
+				l := &rt.layers[i]
+				ps.AddChild(telemetry.CompletedSpan(l.Layer, l.Wall,
+					telemetry.L("hops", strconv.Itoa(l.HOPs)),
+					telemetry.L("ks", strconv.Itoa(l.KeySwitches)),
+					telemetry.L("level", strconv.Itoa(l.Level))))
+			}
+		}
+		span.AddChild(ps)
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.slowLog, "mlaas: slow request %s\n", span)
+	s.slowMu.Unlock()
+}
+
+// Digest produces the periodic one-line operational summary: request
+// rate since the previous Line call, cumulative p50/p99 evaluate
+// latency, and busy-refusal count. Safe for use from one goroutine.
+type Digest struct {
+	s        *Server
+	mu       sync.Mutex
+	lastTime time.Time
+	lastReqs int64
+}
+
+// NewDigest starts a digest baseline at "now, zero requests seen".
+func (s *Server) NewDigest() *Digest {
+	return &Digest{s: s, lastTime: time.Now()}
+}
+
+// Line formats one digest line and advances the rate baseline.
+func (d *Digest) Line() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.s.Stats()
+	total := int64(st.Served + st.BadRequests + st.Rejected + st.Panics)
+	now := time.Now()
+	dt := now.Sub(d.lastTime).Seconds()
+	rate := 0.0
+	if dt > 0 {
+		rate = float64(total-d.lastReqs) / dt
+	}
+	d.lastTime = now
+	d.lastReqs = total
+
+	p50, p99 := "n/a", "n/a"
+	busy := int64(st.Rejected) // includes shutting-down refusals
+	if m := d.s.met; m != nil {
+		busy = m.requests[StatusBusy].Value()
+		if h := m.phases[phaseEvaluate]; h.Count() > 0 {
+			p50 = fmtSeconds(h.Quantile(0.5))
+			p99 = fmtSeconds(h.Quantile(0.99))
+		}
+	}
+	return fmt.Sprintf("req/s=%.2f evaluate_p50=%s evaluate_p99=%s served=%d busy_refused=%d bad=%d panics=%d",
+		rate, p50, p99, st.Served, busy, st.BadRequests, st.Panics)
+}
+
+func fmtSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// RunDigest logs one digest line per interval until stop is closed —
+// the loop behind mlaas-server's -digest-interval flag. Silenced (and
+// never started) when interval <= 0 or w is nil.
+func (s *Server) RunDigest(w io.Writer, interval time.Duration, stop <-chan struct{}) {
+	if w == nil || interval <= 0 {
+		return
+	}
+	d := s.NewDigest()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fmt.Fprintf(w, "mlaas: digest %s\n", d.Line())
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes the registry in the Prometheus text exposition format:
+// HELP/TYPE headers, one line per labeled metric, and _bucket/_sum/_count
+// series for histograms (with p50/p90/p99 estimates as comments, since
+// quantiles are derived client-side in real Prometheus).
+func WriteText(w io.Writer, snap Snapshot) error {
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind)
+		for i := range f.Metrics {
+			m := &f.Metrics[i]
+			switch f.Kind {
+			case KindHistogram:
+				for _, b := range m.Buckets {
+					fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, labelString(m.Labels, L("le", formatBound(b.UpperBound))), b.Count)
+				}
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(m.Labels), formatValue(m.Sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(m.Labels), m.Count)
+				if m.Count > 0 {
+					fmt.Fprintf(w, "# %s%s p50=%s p90=%s p99=%s max=%s\n",
+						f.Name, labelString(m.Labels),
+						formatValue(m.Quantile(0.5)), formatValue(m.Quantile(0.9)),
+						formatValue(m.Quantile(0.99)), formatValue(m.Max))
+				}
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(m.Labels), formatValue(m.Value))
+			}
+		}
+	}
+	return nil
+}
+
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MarshalJSON renders the bucket bound as a string so the +Inf overflow
+// bucket survives encoding/json (which rejects infinities).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatBound(b.UpperBound), b.Count)), nil
+}
+
+// UnmarshalJSON parses the string-encoded bound back, accepting "+Inf".
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if raw.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	v, err := strconv.ParseFloat(raw.LE, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad bucket bound %q: %w", raw.LE, err)
+	}
+	b.UpperBound = v
+	return nil
+}
+
+// Handler serves the registry: text exposition on GET (default), JSON
+// when the path ends in .json or ?format=json is given.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if strings.HasSuffix(req.URL.Path, ".json") || req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap) //nolint:errcheck
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteText(w, snap) //nolint:errcheck
+	})
+}
+
+// NewMux returns an http.ServeMux exposing the registry and the runtime
+// profilers:
+//
+//	/metrics           text exposition
+//	/metrics.json      JSON snapshot
+//	/debug/pprof/...   net/http/pprof (profile, heap, goroutine, trace, ...)
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	h := Handler(r)
+	mux.Handle("/metrics", h)
+	mux.Handle("/metrics.json", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

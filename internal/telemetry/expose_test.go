@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mlaas_requests_total", "requests by status", L("status", "ok")).Add(3)
+	r.Counter("mlaas_requests_total", "requests by status", L("status", "busy")).Inc()
+	r.Gauge("mlaas_inflight", "in-flight requests").Set(2)
+	h := r.Histogram("mlaas_phase_seconds", "phase latency", []float64{0.1, 1}, L("phase", "evaluate"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestWriteText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`# TYPE mlaas_requests_total counter`,
+		`mlaas_requests_total{status="ok"} 3`,
+		`mlaas_requests_total{status="busy"} 1`,
+		`# TYPE mlaas_inflight gauge`,
+		`mlaas_inflight 2`,
+		`# TYPE mlaas_phase_seconds histogram`,
+		`mlaas_phase_seconds_bucket{le="0.1",phase="evaluate"} 1`,
+		`mlaas_phase_seconds_bucket{le="+Inf",phase="evaluate"} 3`,
+		`mlaas_phase_seconds_count{phase="evaluate"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerTextAndJSON(t *testing.T) {
+	mux := NewMux(testRegistry())
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "mlaas_requests_total") {
+		t.Fatalf("text endpoint: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("json endpoint code=%d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json endpoint did not return valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	f := snap.Family("mlaas_phase_seconds")
+	if f == nil || len(f.Metrics) != 1 || f.Metrics[0].Count != 3 {
+		t.Fatalf("histogram lost in JSON round-trip: %+v", f)
+	}
+
+	// pprof rides alongside.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: code=%d", rec.Code)
+	}
+}
+
+func TestSnapshotQuantileFromBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4}, L("k", "v"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04) // uniform (0, 4]
+	}
+	m := r.Snapshot().Family("h").Metric(L("k", "v"))
+	if m == nil {
+		t.Fatal("metric missing from snapshot")
+	}
+	live, snap := h.Quantile(0.5), m.Quantile(0.5)
+	if live != snap {
+		t.Fatalf("snapshot quantile %v != live quantile %v", snap, live)
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", nil)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want NaN", q, h.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1, 10})
+	h.Observe(0.5)  // bucket 0
+	h.Observe(10)   // bucket 1 (le is inclusive)
+	h.Observe(1e6)  // overflow
+	h.Observe(5e6)  // overflow
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.counts[2].Load(); got != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", got)
+	}
+	// Quantiles inside the overflow bucket clamp to the observed max, not
+	// to an invented bound.
+	if q := h.Quantile(1); q != 5e6 {
+		t.Fatalf("p100 = %v, want observed max 5e6", q)
+	}
+	if q := h.Quantile(0.9); q < 1e6 || q > 5e6 {
+		t.Fatalf("p90 = %v, want within overflow bucket [1e6, 5e6]", q)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1, 2, 3, 4})
+	// 100 uniform values in (0, 4].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 2.0, 0.1},
+		{0.25, 1.0, 0.1},
+		{0.99, 3.96, 0.1},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("Quantile(%v) = %v, want %v±%v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(-1); math.IsNaN(got) {
+		t.Fatal("Quantile(-1) should clamp, not NaN")
+	}
+	if got := h.Quantile(2); got != h.Max() {
+		t.Fatalf("Quantile(2) = %v, want max %v", got, h.Max())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1, 2})
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1.5 {
+			t.Fatalf("Quantile(%v) with one observation = %v, want 1.5", q, got)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", DefTimeBuckets)
+	const workers, perWorker = 8, 5000
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	// One goroutine hammers quantiles while writers observe: estimates
+	// must stay finite and non-negative (or NaN before the first
+	// observation lands).
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := h.Quantile(0.99)
+			if !math.IsNaN(q) && (q < 0 || math.IsInf(q, 0)) {
+				t.Errorf("concurrent quantile out of range: %v", q)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%100) * 0.001)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	var sum int64
+	for i := range h.counts {
+		sum += h.counts[i].Load()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*perWorker)
+	}
+	if h.Min() != 0 || h.Max() != 0.099 {
+		t.Fatalf("min/max = %v/%v, want 0/0.099", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	mustPanic(t, "non-increasing bounds", func() { newHistogram([]float64{1, 1, 2}) })
+}
+
+func TestNaNObservationIgnored(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatal("NaN observation recorded")
+	}
+}

@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates metric families.
+type Kind string
+
+// The metric family kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// family is one named metric with a fixed kind, label schema, and one
+// child per distinct label-value combination.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	keys   []string // sorted label keys, fixed at first registration
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]any // label signature → *Counter/*Gauge/*Histogram
+	labels   map[string][]Label
+}
+
+// Registry is a named collection of metric families. Metrics are created
+// on first access and the same handle is returned thereafter, so callers
+// resolve handles once (at construction time) and keep hot paths down to
+// an atomic op. A nil *Registry hands out nil handles whose methods are
+// no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// Reusing a name with a different kind or label schema panics: metric
+// identity is a programming contract, not runtime input.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, KindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, KindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use with the given bucket bounds (nil means DefTimeBuckets). Bounds are
+// fixed by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.child(name, help, KindHistogram, bounds, labels).(*Histogram)
+}
+
+func (r *Registry) child(name, help string, kind Kind, bounds []float64, labels []Label) any {
+	keys := make([]string, len(labels))
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		keys[i] = l.Key
+	}
+
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind, keys: keys, bounds: bounds,
+			children: map[string]any{}, labels: map[string][]Label{},
+		}
+		r.families[name] = f
+	}
+	r.mu.Unlock()
+
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if !equalKeys(f.keys, keys) {
+		panic(fmt.Sprintf("telemetry: %s registered with labels %v, requested with %v", name, f.keys, keys))
+	}
+
+	sig := signature(sorted)
+	f.mu.RLock()
+	c, ok := f.children[sig]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[sig]; ok {
+		return c
+	}
+	switch kind {
+	case KindCounter:
+		c = &Counter{}
+	case KindGauge:
+		c = &Gauge{}
+	case KindHistogram:
+		c = newHistogram(f.bounds)
+	}
+	f.children[sig] = c
+	f.labels[sig] = sorted
+	return c
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func signature(sorted []Label) string {
+	var sb strings.Builder
+	for _, l := range sorted {
+		sb.WriteString(l.Key)
+		sb.WriteByte(0)
+		sb.WriteString(l.Value)
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, sorted
+// deterministically (families by name, metrics by label signature).
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one named metric family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    Kind             `json:"kind"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one labeled metric instance. Value carries the
+// counter/gauge reading; histogram fields are populated for histograms.
+type MetricSnapshot struct {
+	Labels []Label `json:"labels,omitempty"`
+
+	Value float64 `json:"value"`
+
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Min     float64          `json:"min,omitempty"`
+	Max     float64          `json:"max,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket: the count of
+// observations ≤ UpperBound (the last bucket's bound is +Inf).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// Quantile estimates a quantile from the snapshot's buckets (histograms
+// only; NaN otherwise or with no observations).
+func (m *MetricSnapshot) Quantile(q float64) float64 {
+	if len(m.Buckets) == 0 || m.Count == 0 {
+		return math.NaN()
+	}
+	bounds := make([]float64, 0, len(m.Buckets)-1)
+	counts := make([]int64, len(m.Buckets))
+	var prev int64
+	for i, b := range m.Buckets {
+		if i < len(m.Buckets)-1 {
+			bounds = append(bounds, b.UpperBound)
+		}
+		counts[i] = b.Count - prev // cumulative → per-bucket
+		prev = b.Count
+	}
+	return quantileFromBuckets(q, bounds, counts, m.Count, m.Min, m.Max)
+}
+
+// Get returns the label's value, or "".
+func (m *MetricSnapshot) Get(key string) string {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Snapshot copies the registry. A nil registry snapshots empty. Values
+// read concurrently with writers are each individually consistent;
+// cross-metric consistency is best-effort (standard for exposition).
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		f.mu.RLock()
+		sigs := make([]string, 0, len(f.children))
+		for sig := range f.children {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			ms := MetricSnapshot{Labels: f.labels[sig]}
+			switch c := f.children[sig].(type) {
+			case *Counter:
+				ms.Value = float64(c.Value())
+			case *Gauge:
+				ms.Value = c.Value()
+			case *Histogram:
+				ms.Count = c.Count()
+				ms.Sum = c.Sum()
+				if ms.Count > 0 {
+					ms.Min = c.Min()
+					ms.Max = c.Max()
+				}
+				var cum int64
+				for i := range c.counts {
+					cum += c.counts[i].Load()
+					ub := math.Inf(1)
+					if i < len(c.bounds) {
+						ub = c.bounds[i]
+					}
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+				}
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		f.mu.RUnlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// Family returns the named family's snapshot, or nil.
+func (s Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Metric returns the family's metric matching every given label, or nil.
+// With no labels it returns the first metric.
+func (f *FamilySnapshot) Metric(labels ...Label) *MetricSnapshot {
+	if f == nil {
+		return nil
+	}
+outer:
+	for i := range f.Metrics {
+		for _, want := range labels {
+			if f.Metrics[i].Get(want.Key) != want.Value {
+				continue outer
+			}
+		}
+		return &f.Metrics[i]
+	}
+	return nil
+}

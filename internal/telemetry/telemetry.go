@@ -1,0 +1,92 @@
+// Package telemetry is the repo's dependency-free metrics and tracing
+// core. FxHENN's contribution is *accounting* — per-layer HOP/KS counts
+// and latency models — and this package makes the same accounting
+// available from a live run: atomic counters and gauges, fixed-bucket
+// latency histograms with quantile estimation, a named registry of
+// labeled metric families with a consistent Snapshot API, and a
+// lightweight span tracer for per-request / per-layer breakdowns.
+//
+// Everything is safe for concurrent use. Every accessor and mutator is
+// also nil-receiver safe: a nil *Registry hands out nil *Counter /
+// *Gauge / *Histogram handles whose methods are no-ops, so instrumented
+// hot paths pay only a nil check — and zero allocations — when telemetry
+// is disabled (asserted by TestDisabledTelemetryZeroAlloc).
+//
+// Exposition lives in expose.go: a Prometheus-style text format, a JSON
+// snapshot, and an http.Handler that mounts both next to net/http/pprof.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an arbitrary float64 that can go up and down. The zero value is
+// ready to use; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
