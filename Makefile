@@ -14,7 +14,7 @@ test:
 # wire format.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/... ./internal/telemetry/... ./internal/hecnn/...
+	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/... ./internal/telemetry/... ./internal/hecnn/... ./internal/parallel/... ./internal/ckks/...
 
 # race runs the whole tree under the race detector (slower than verify).
 race:

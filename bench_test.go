@@ -22,6 +22,7 @@ import (
 	"fxhenn/internal/hecnn"
 	"fxhenn/internal/hemodel"
 	"fxhenn/internal/mlaas"
+	"fxhenn/internal/parallel"
 	"fxhenn/internal/profile"
 	"fxhenn/internal/workload"
 )
@@ -248,10 +249,17 @@ func BenchmarkMLaaSInference(b *testing.B) {
 
 // benchInference measures one full functional encrypted inference
 // (pack → encrypt → evaluate → decrypt) for a network/parameter pair.
-// These are the rows of BENCH_inference.json (make bench).
-func benchInference(b *testing.B, pnet *cnn.Network, params ckks.Parameters) {
+// These are the rows of BENCH_inference.json (make bench). workers sizes
+// the evaluation worker pool (0 = GOMAXPROCS, 1 = serial — no pool), and
+// opts selects the compile mode; the _Parallel and _Hoisted benchmark
+// variants differ from the base rows only in those two knobs, so the
+// ratio base/variant is the speedup PERFORMANCE.md reports.
+func benchInference(b *testing.B, pnet *cnn.Network, params ckks.Parameters, workers int, opts hecnn.Options) {
+	if workers != 1 {
+		params.AttachPool(parallel.New(workers))
+	}
 	pnet.InitWeights(1)
-	net := hecnn.Compile(pnet, params.Slots())
+	net := hecnn.CompileWith(pnet, params.Slots(), opts)
 	ctx := hecnn.NewContext(params, 2, net.RotationsNeeded(params.MaxLevel()))
 	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
 	for i := range img.Data {
@@ -265,17 +273,39 @@ func benchInference(b *testing.B, pnet *cnn.Network, params ckks.Parameters) {
 }
 
 func BenchmarkInference_Tiny(b *testing.B) {
-	benchInference(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45))
+	benchInference(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45), 1, hecnn.Options{})
+}
+
+func BenchmarkInference_Tiny_Parallel(b *testing.B) {
+	benchInference(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45), 0, hecnn.Options{})
 }
 
 func BenchmarkInference_TinyConv(b *testing.B) {
-	benchInference(b, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45))
+	benchInference(b, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45), 1, hecnn.Options{})
+}
+
+func BenchmarkInference_TinyConv_Parallel(b *testing.B) {
+	benchInference(b, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45), 0, hecnn.Options{})
 }
 
 // BenchmarkInference_MNIST is the paper-parameter workload (N=8192):
 // one iteration is ~15 s of software CKKS.
 func BenchmarkInference_MNIST(b *testing.B) {
-	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST())
+	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST(), 1, hecnn.Options{})
+}
+
+// BenchmarkInference_MNIST_Parallel is the workload the pool is sized
+// for: 8192-coefficient limbs and 8-digit key switches fan out across
+// GOMAXPROCS workers, bit-identical to the serial row above.
+func BenchmarkInference_MNIST_Parallel(b *testing.B) {
+	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST(), 0, hecnn.Options{})
+}
+
+// BenchmarkInference_MNIST_Hoisted additionally compiles the rotation
+// ladders to share one keyswitch decomposition per ladder (Halevi-Shoup
+// hoisting) on top of the worker pool.
+func BenchmarkInference_MNIST_Hoisted(b *testing.B) {
+	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST(), 0, hecnn.Options{Hoist: true})
 }
 
 // BenchmarkEvaluateTracedNilTracer pins (as a benchmark, alongside the

@@ -4,10 +4,17 @@
 // half of `make bench`, which writes BENCH_inference.json with the
 // ns/op of the per-network encrypted-inference benchmarks.
 //
+// With -baseline it additionally compares the fresh run against a
+// committed report and exits nonzero when any benchmark present in both
+// regressed by more than -regress-pct — the CI latency-regression gate.
+// Benchmarks only in one of the two reports are listed but never fail
+// the run, so adding a benchmark does not break CI.
+//
 // Usage:
 //
 //	go test -bench=Inference -benchtime=1x -run='^$' . | benchjson -out BENCH_inference.json
 //	benchjson -out bench.json -filter '' < bench.txt   # keep every benchmark
+//	benchjson -out /dev/null -baseline BENCH_inference.json -regress-pct 25 < bench.txt
 package main
 
 import (
@@ -37,6 +44,8 @@ type Report struct {
 func main() {
 	out := flag.String("out", "BENCH_inference.json", "JSON report path")
 	filter := flag.String("filter", "Inference_", "keep benchmarks whose trimmed name contains this substring (empty keeps all)")
+	baseline := flag.String("baseline", "", "committed report to compare against; exit nonzero on regression (empty disables)")
+	regressPct := flag.Float64("regress-pct", 25, "with -baseline: fail when ns/op exceeds the baseline by more than this percentage")
 	flag.Parse()
 
 	rep := Report{Benchmarks: []Benchmark{}}
@@ -69,6 +78,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *baseline != "" {
+		if !checkBaseline(rep, *baseline, *regressPct) {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkBaseline compares the fresh report against the committed one and
+// reports per-benchmark deltas; it returns false when any benchmark in
+// both reports is slower than baseline × (1 + pct/100).
+func checkBaseline(rep Report, path string, pct float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", path, err)
+		return false
+	}
+	old := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b.NsPerOp
+	}
+	ok := true
+	for _, b := range rep.Benchmarks {
+		was, found := old[b.Name]
+		if !found || was == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: not in baseline, skipping\n", b.Name)
+			continue
+		}
+		delta := 100 * (b.NsPerOp - was) / was
+		if b.NsPerOp > was*(1+pct/100) {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%+.1f%% > +%.0f%% allowed)\n",
+				b.Name, b.NsPerOp, was, delta, pct)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n", b.Name, b.NsPerOp, was, delta)
+	}
+	return ok
 }
 
 // parseLine recognizes `BenchmarkName-8  N  12345 ns/op [B/op] [allocs/op]`.

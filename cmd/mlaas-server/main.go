@@ -5,6 +5,11 @@
 // refused with a typed shutting-down status, and the drop count is
 // reported if the drain deadline expires.
 //
+// Parallelism: -workers sizes the shared evaluation worker pool (0 =
+// GOMAXPROCS, 1 = serial; results are bit-identical either way) and
+// -hoist compiles KS layers to serve each rotation ladder from one shared
+// keyswitch decomposition.
+//
 // The reproduction keeps key generation in-process (the demo client and
 // server share a key ceremony at startup), so -demo N serves N local
 // client inferences and then drains; without -demo the server runs until
@@ -20,6 +25,7 @@
 //
 //	mlaas-server -addr 127.0.0.1:7100 -max-concurrent 4
 //	mlaas-server -demo 3 -io-timeout 5s
+//	mlaas-server -workers 8 -hoist -demo 3
 //	mlaas-server -metrics-addr 127.0.0.1:7190 -slow-threshold 5s -digest-interval 30s
 package main
 
@@ -47,6 +53,8 @@ func main() {
 	netName := flag.String("net", "tiny", "network: tiny, tinyconv or mnist")
 	seed := flag.Int64("seed", 1, "weight/key seed")
 	maxConcurrent := flag.Int("max-concurrent", 4, "evaluation slots before requests are refused busy")
+	workers := flag.Int("workers", 0, "evaluation worker pool size shared by all requests (0 = GOMAXPROCS, 1 = serial)")
+	hoist := flag.Bool("hoist", false, "compile KS layers with hoisted rotations (shared keyswitch decompositions)")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "rolling per-read/write deadline")
 	requestBudget := flag.Duration("request-budget", 2*time.Minute, "total wall-clock budget per request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -75,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 	pnet.InitWeights(*seed)
-	henet := hecnn.Compile(pnet, params.Slots())
+	henet := hecnn.CompileWith(pnet, params.Slots(), hecnn.Options{Hoist: *hoist})
 
 	// Key ceremony: the secret key stays with the client role; the server
 	// receives only evaluation keys.
@@ -93,6 +101,7 @@ func main() {
 		MaxConcurrent:        *maxConcurrent,
 		IOTimeout:            *ioTimeout,
 		RequestBudget:        *requestBudget,
+		Workers:              *workers,
 		Metrics:              reg,
 		SlowRequestThreshold: *slowThreshold,
 	})
@@ -102,8 +111,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mlaas-server: %s on %s (slots=%d io-timeout=%v budget=%v)\n",
-		pnet.Name, l.Addr(), *maxConcurrent, *ioTimeout, *requestBudget)
+	fmt.Printf("mlaas-server: %s on %s (slots=%d workers=%d io-timeout=%v budget=%v)\n",
+		pnet.Name, l.Addr(), *maxConcurrent, server.PoolStats().Workers, *ioTimeout, *requestBudget)
 
 	if reg != nil {
 		ml, err := net.Listen("tcp", *metricsAddr)

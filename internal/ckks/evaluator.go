@@ -272,11 +272,27 @@ func (ev *Evaluator) keySwitchCore(c *ring.Poly, swk *SwitchingKey) (u0, u1 *rin
 	u1 = r.NewPoly(k)
 	u0p := make([]uint64, n)
 	u1p := make([]uint64, n)
-	digit := make([]uint64, n)
 
-	for i := 0; i < k; i++ {
-		d := cc.Coeffs[i] // digit i in coefficient domain, values < q_i
-		for j := 0; j < k; j++ {
+	// The loop nest is target-row-outer so the k+1 extended-basis rows (q_0
+	// .. q_{k-1} plus the special prime) are independent work items: row j
+	// accumulates every digit's contribution into u0[j]/u1[j] only, and
+	// digits run in ascending order inside each item, so the MulAddVec
+	// accumulation order — and therefore the result — is bit-exact with the
+	// serial digit-outer formulation.
+	pool := r.Pool()
+	pool.Do(k+1, func(j int) {
+		digit := make([]uint64, n)
+		if j == k { // special-prime row
+			for i := 0; i < k; i++ {
+				spMod.ReduceVec(digit, cc.Coeffs[i])
+				spTab.Forward(digit)
+				spMod.MulAddVec(u0p, digit, swk.B[i].Coeffs[sp])
+				spMod.MulAddVec(u1p, digit, swk.A[i].Coeffs[sp])
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			d := cc.Coeffs[i] // digit i in coefficient domain, values < q_i
 			if j == i {
 				copy(digit, d)
 			} else {
@@ -286,11 +302,7 @@ func (ev *Evaluator) keySwitchCore(c *ring.Poly, swk *SwitchingKey) (u0, u1 *rin
 			r.Mods[j].MulAddVec(u0.Coeffs[j], digit, swk.B[i].Coeffs[j])
 			r.Mods[j].MulAddVec(u1.Coeffs[j], digit, swk.A[i].Coeffs[j])
 		}
-		spMod.ReduceVec(digit, d)
-		spTab.Forward(digit)
-		spMod.MulAddVec(u0p, digit, swk.B[i].Coeffs[sp])
-		spMod.MulAddVec(u1p, digit, swk.A[i].Coeffs[sp])
-	}
+	})
 
 	ev.modDown(u0, u0p)
 	ev.modDown(u1, u1p)
@@ -305,7 +317,8 @@ func (ev *Evaluator) modDown(u *ring.Poly, uP []uint64) {
 	sp := ev.spIdx
 	r.INTT(u)
 	r.Tables[sp].Inverse(uP)
-	for j := 0; j < u.K(); j++ {
+	// Each row only reads the shared special row uP and rewrites itself.
+	r.Pool().Do(u.K(), func(j int) {
 		mj := r.Mods[j]
 		inv := ev.pInvQ[j]
 		pRed := ev.pModQ[j]
@@ -317,7 +330,7 @@ func (ev *Evaluator) modDown(u *ring.Poly, uP []uint64) {
 			}
 			row[n] = inv.Mul(mj.Sub(row[n], rep), mj)
 		}
-	}
+	})
 	r.NTT(u)
 }
 

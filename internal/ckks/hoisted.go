@@ -40,7 +40,8 @@ func (ev *Evaluator) DecomposeForRotation(ct *Ciphertext) *HoistedDecomposition 
 		digitsQ: make([][][]uint64, k),
 		digitsP: make([][]uint64, k),
 	}
-	for i := 0; i < k; i++ {
+	// Each digit's extended-basis expansion writes only its own slices.
+	r.Pool().Do(k, func(i int) {
 		d := cc.Coeffs[i]
 		hd.digitsQ[i] = make([][]uint64, k)
 		for j := 0; j < k; j++ {
@@ -57,7 +58,7 @@ func (ev *Evaluator) DecomposeForRotation(ct *Ciphertext) *HoistedDecomposition 
 		r.Mods[sp].ReduceVec(prow, d)
 		r.Tables[sp].Forward(prow)
 		hd.digitsP[i] = prow
-	}
+	})
 	return hd
 }
 
@@ -101,18 +102,26 @@ func (ev *Evaluator) rotateWithDecomposition(ct *Ciphertext, hd *HoistedDecompos
 	u1 := r.NewPoly(level)
 	u0p := make([]uint64, n)
 	u1p := make([]uint64, n)
-	tmp := make([]uint64, n)
 
-	for i := 0; i < level; i++ {
-		for j := 0; j < level; j++ {
+	// Target-row-outer, same shape as keySwitchCore: the level+1 extended
+	// rows are independent, and digits accumulate in ascending order within
+	// each row so the parallel result is bit-exact with the serial one.
+	r.Pool().Do(level+1, func(j int) {
+		tmp := make([]uint64, n)
+		if j == level { // special-prime row
+			for i := 0; i < level; i++ {
+				ring.PermuteVec(tmp, hd.digitsP[i], perm)
+				spMod.MulAddVec(u0p, tmp, swk.B[i].Coeffs[sp])
+				spMod.MulAddVec(u1p, tmp, swk.A[i].Coeffs[sp])
+			}
+			return
+		}
+		for i := 0; i < level; i++ {
 			ring.PermuteVec(tmp, hd.digitsQ[i][j], perm)
 			r.Mods[j].MulAddVec(u0.Coeffs[j], tmp, swk.B[i].Coeffs[j])
 			r.Mods[j].MulAddVec(u1.Coeffs[j], tmp, swk.A[i].Coeffs[j])
 		}
-		ring.PermuteVec(tmp, hd.digitsP[i], perm)
-		spMod.MulAddVec(u0p, tmp, swk.B[i].Coeffs[sp])
-		spMod.MulAddVec(u1p, tmp, swk.A[i].Coeffs[sp])
-	}
+	})
 	ev.modDown(u0, u0p)
 	ev.modDown(u1, u1p)
 

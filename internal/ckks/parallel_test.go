@@ -1,0 +1,105 @@
+package ckks
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fxhenn/internal/parallel"
+)
+
+// pipelineInputs encrypts two fixed random vectors. The encryptor's PRNG is
+// stateful, so inputs are made once per context and shared; evaluation
+// itself is deterministic and safe to repeat concurrently.
+func pipelineInputs(tc *testContext) (a, b *Ciphertext) {
+	rng := rand.New(rand.NewSource(77))
+	slots := tc.params.Slots()
+	a = tc.encryptVec(randVec(slots, 1, rng), 4)
+	b = tc.encryptVec(randVec(slots, 1, rng), 4)
+	return a, b
+}
+
+// evalPipeline runs a fixed mix of every HE operation and returns the
+// digests of each intermediate, so serial and parallel runs can be compared
+// bit-for-bit.
+func evalPipeline(tc *testContext, a, b *Ciphertext) []string {
+	var digests []string
+	add := tc.eval.AddNew(a, b)
+	digests = append(digests, add.Digest())
+	mul := tc.eval.MulNew(a, b) // CCmult + relinearize (keyswitch)
+	digests = append(digests, mul.Digest())
+	rs := tc.eval.RescaleNew(mul)
+	digests = append(digests, rs.Digest())
+	rot := tc.eval.RotateNew(a, 4) // automorphism + keyswitch
+	digests = append(digests, rot.Digest())
+	hs := tc.eval.RotateHoisted(rs, []int{1, 2, 4, 8}) // shared decomposition
+	for _, k := range []int{1, 2, 4, 8} {
+		digests = append(digests, hs[k].Digest())
+	}
+	return digests
+}
+
+// TestParallelMatchesSerialDigests pins the tentpole's determinism
+// guarantee: with a multi-worker pool attached, every HE operation —
+// including key-switching and hoisted rotations — produces ciphertexts
+// bit-identical to the serial evaluator.
+func TestParallelMatchesSerialDigests(t *testing.T) {
+	rots := []int{1, 2, 4, 8}
+	serial := newTestContext(t, rots)
+	par := newTestContext(t, rots) // separate Parameters → separate ring
+	par.eval.Trace = nil           // contract: concurrent-safe iff Trace nil
+	pool := parallel.New(4)        // force real workers even on 1 CPU
+	par.params.AttachPool(pool)
+	defer par.params.AttachPool(nil)
+
+	sa, sb := pipelineInputs(serial)
+	pa, pb := pipelineInputs(par) // same seeds → bit-identical inputs
+	if sa.Digest() != pa.Digest() || sb.Digest() != pb.Digest() {
+		t.Fatal("contexts with equal seeds produced different inputs")
+	}
+
+	want := evalPipeline(serial, sa, sb)
+	got := evalPipeline(par, pa, pb)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("step %d: parallel digest %s != serial %s", i, got[i], want[i])
+		}
+	}
+	if st := pool.Stats(); st.Dispatched+st.Inline == 0 {
+		t.Fatal("pool never executed an item — parallel path not exercised")
+	}
+}
+
+// TestConcurrentEvaluatorsShareRing hammers one Parameters/ring (and one
+// pool) from many goroutines, the mlaas sharing shape; run under -race.
+func TestConcurrentEvaluatorsShareRing(t *testing.T) {
+	rots := []int{1, 2, 4, 8}
+	tc := newTestContext(t, rots)
+	tc.eval.Trace = nil
+	pool := parallel.New(3)
+	tc.params.AttachPool(pool)
+	defer tc.params.AttachPool(nil)
+
+	a, b := pipelineInputs(tc)
+	want := evalPipeline(tc, a, b)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := evalPipeline(tc, a, b)
+			for i := range want {
+				if got[i] != want[i] {
+					errs <- "concurrent evaluation diverged from serial digests"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

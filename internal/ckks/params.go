@@ -2,16 +2,31 @@
 // scheme (Cheon-Kim-Kim-Song with the full-RNS variant of Cheon-Han-Kim-
 // Kim-Song) that FxHENN's HE operation modules compute: PCadd, PCmult,
 // CCadd, CCmult, Rescale, Relinearize and Rotate (§II-A of the paper).
+// KeySwitch follows the RNS digit decomposition over the extended basis
+// (q_0..q_{L-1}, p): Σ_i [c]_{q_i} ⊗ (B_i, A_i) followed by division by the
+// special prime p — the paper's OP5, its dominant pipeline stage.
 //
 // The implementation is software-only and deterministic; it is the
 // functional ground truth against which the simulated FPGA accelerator's
 // schedules are validated.
+//
+// Parallelism contract: an Evaluator is safe for concurrent use from
+// multiple goroutines if and only if its Trace field is nil (the trace
+// recorder is intentionally unsynchronized). When a parallel.Pool is
+// attached to the parameters' ring (Parameters.AttachPool), key-switching
+// fans its k+1 extended-basis target rows out as independent work items,
+// hoisted decompositions expand their digits concurrently, and every ring
+// operation inherits limb parallelism — all bit-exact with serial
+// execution, which TestParallelMatchesSerialDigests pins. Encoder,
+// Encryptor and Decryptor are likewise safe for concurrent use on distinct
+// outputs.
 package ckks
 
 import (
 	"fmt"
 	"math"
 
+	"fxhenn/internal/parallel"
 	"fxhenn/internal/primes"
 	"fxhenn/internal/ring"
 )
@@ -83,6 +98,12 @@ func (p Parameters) MaxLevel() int { return p.L }
 // Ring exposes the underlying RNS ring (q-basis plus the special prime as
 // its last modulus).
 func (p Parameters) Ring() *ring.Ring { return p.ring }
+
+// AttachPool attaches a worker pool to the parameters' ring, enabling
+// limb-, digit- and row-parallel evaluation for every evaluator, encoder
+// and encryptor built from these Parameters. nil detaches (serial mode).
+// Safe to call concurrently with evaluation.
+func (p Parameters) AttachPool(pool *parallel.Pool) { p.ring.AttachPool(pool) }
 
 // QBig returns log2 of the full ciphertext modulus, for reporting (the "Q"
 // column of Table VII).

@@ -2,7 +2,9 @@ package ckks
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -103,6 +105,18 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// Digest returns the hex-encoded SHA-256 of the ciphertext's serialized
+// form. Two ciphertexts digest equal iff every RNS residue, the scale and
+// the degree are bit-identical — the equality the parallel-vs-serial
+// determinism tests pin.
+func (ct *Ciphertext) Digest() string {
+	h := sha256.New()
+	if _, err := ct.WriteTo(h); err != nil {
+		panic(err) // hash.Hash never errors on Write
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SerializedSize returns the exact wire size of the ciphertext.

@@ -8,6 +8,16 @@
 // the paper's resource models and design space exploration. The paper's
 // point that "to make an accurate evaluation, we must extract the HE
 // operations and data relations at this level" is this package.
+//
+// Parallelism contract: a compiled Network is immutable and safe to
+// evaluate from many goroutines, but a Backend instance is not — its trace
+// Recorder is unsynchronized, so concurrent evaluations (the mlaas server)
+// use one Backend per request over a shared Context whose Evaluator has a
+// nil Trace. Intra-evaluation parallelism (limb/digit/rotation granularity)
+// comes from the worker pool attached to the Context's ckks parameters, not
+// from this package. CompileWith(Options{Hoist: true}) additionally batches
+// each KS-layer rotation ladder through Backend.RotateMany so the crypto
+// backend serves all rotations of a ladder from one hoisted decomposition.
 package hecnn
 
 import (
@@ -54,6 +64,12 @@ type Backend interface {
 	Rescale(x *CT) *CT
 	// Rotate rotates slots left by k (k may be negative; k=0 is free).
 	Rotate(x *CT, k int) *CT
+	// RotateMany rotates x by every amount in ks, returning results in
+	// order. The crypto backend computes all rotations of the batch from
+	// one shared hoisted keyswitch decomposition (Halevi-Shoup), so a layer
+	// that needs many rotations of the same ciphertext pays the expensive
+	// digit decomposition once; other backends fall back to per-k Rotate.
+	RotateMany(x *CT, ks []int) []*CT
 }
 
 // LayerEvents is the recorded HE-operation stream of one HE-CNN layer.
@@ -212,6 +228,14 @@ func (b *countBackend) Rotate(x *CT, k int) *CT {
 	return &CT{level: x.level, scale: x.scale}
 }
 
+func (b *countBackend) RotateMany(x *CT, ks []int) []*CT {
+	out := make([]*CT, len(ks))
+	for i, k := range ks {
+		out[i] = b.Rotate(x, k)
+	}
+	return out
+}
+
 // cryptoBackend executes operations on real ciphertexts while recording the
 // same trace as the counting backend.
 type cryptoBackend struct {
@@ -271,6 +295,35 @@ func (b *cryptoBackend) Rotate(x *CT, k int) *CT {
 	b.rec.record(ckks.OpRotate, x.ct.Level())
 	b.rec.recordRotation(k)
 	return wrap(out)
+}
+
+func (b *cryptoBackend) RotateMany(x *CT, ks []int) []*CT {
+	nonzero := 0
+	for _, k := range ks {
+		if k != 0 {
+			nonzero++
+		}
+	}
+	// A shared decomposition only pays off from the second rotation.
+	if nonzero < 2 {
+		out := make([]*CT, len(ks))
+		for i, k := range ks {
+			out[i] = b.Rotate(x, k)
+		}
+		return out
+	}
+	rot := b.ctx.Eval.RotateHoisted(x.ct, ks)
+	out := make([]*CT, len(ks))
+	for i, k := range ks {
+		if k == 0 {
+			out[i] = x
+			continue
+		}
+		b.rec.record(ckks.OpRotate, x.ct.Level())
+		b.rec.recordRotation(k)
+		out[i] = wrap(rot[k])
+	}
+	return out
 }
 
 func wrap(ct *ckks.Ciphertext) *CT {

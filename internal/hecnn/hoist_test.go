@@ -1,0 +1,161 @@
+package hecnn
+
+import (
+	"math"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/parallel"
+)
+
+// TestHoistedCompileAgreement: an Options{Hoist}-compiled network must
+// produce the same logits (within CKKS noise) as the default compile, with
+// a different rotation ladder — B−1 linear shifts served from one shared
+// decomposition instead of the log2(B) doubling chain.
+func TestHoistedCompileAgreement(t *testing.T) {
+	params := tinyParams()
+	for _, tc := range []struct {
+		pnet *cnn.Network
+		seed int64
+		// wantDiff: a ladder with B>2 exists, so the hoisted linear sum
+		// needs more Galois keys than the doubling chain. With B=2 (the
+		// tiny CIFAR-profile net) the two forms coincide.
+		wantDiff bool
+	}{
+		{cnn.NewTinyNet(), 42, true},      // FxHENN-MNIST structure
+		{cnn.NewTinyConvNet(), 43, false}, // FxHENN-CIFAR10 structure (interior conv)
+	} {
+		tc.pnet.InitWeights(tc.seed)
+		img := randomImage(tc.pnet.InC, tc.pnet.InH, tc.pnet.InW, tc.seed)
+		want := tc.pnet.Infer(img)
+
+		plain := Compile(tc.pnet, params.Slots())
+		hoisted := CompileWith(tc.pnet, params.Slots(), Options{Hoist: true})
+
+		hctx := NewContext(params, tc.seed, hoisted.RotationsNeeded(params.MaxLevel()))
+		got, rec := hoisted.Run(hctx, img)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-2 {
+				t.Fatalf("%s hoisted logit %d: %g want %g", tc.pnet.Name, i, got[i], want[i])
+			}
+		}
+
+		// The hoisted functional trace must match its own dry run op-for-op
+		// (counting and crypto backends share the layer structure).
+		dry := hoisted.Count(params.MaxLevel())
+		if rec.TotalHOPs() != dry.TotalHOPs() || rec.TotalKeySwitches() != dry.TotalKeySwitches() {
+			t.Fatalf("%s: hoisted functional trace (%d/%d) != dry run (%d/%d)", tc.pnet.Name,
+				rec.TotalHOPs(), rec.TotalKeySwitches(), dry.TotalHOPs(), dry.TotalKeySwitches())
+		}
+
+		// The ladders really changed where B>2: different Galois key sets.
+		pr := plain.RotationsNeeded(params.MaxLevel())
+		hr := hoisted.RotationsNeeded(params.MaxLevel())
+		if equalInts(pr, hr) == tc.wantDiff {
+			t.Fatalf("%s: rotation sets plain=%v hoisted=%v, wantDiff=%v", tc.pnet.Name, pr, hr, tc.wantDiff)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// inferenceDigest runs one fully deterministic encrypted inference —
+// MNIST-profile or CIFAR-profile structure at reduced geometry — and
+// returns the output ciphertext digest. Key material, encryption noise and
+// the image are all seed-derived, so two calls differ only in whether a
+// worker pool is attached.
+func inferenceDigest(pnet *cnn.Network, seed int64, opts Options, pool *parallel.Pool) string {
+	params := tinyParams() // fresh Parameters → fresh ring per call
+	params.AttachPool(pool)
+	net := CompileWith(pnet, params.Slots(), opts)
+	ctx := NewContext(params, seed, net.RotationsNeeded(params.MaxLevel()))
+	img := randomImage(pnet.InC, pnet.InH, pnet.InW, seed)
+	var cts []*CT
+	for _, v := range net.PackInput(img) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	out := net.EvaluateEncrypted(NewCryptoBackend(ctx, nil), cts)
+	return out.Ciphertext().Digest()
+}
+
+// TestParallelInferenceMatchesSerialDigests pins the end-to-end determinism
+// guarantee for both network profiles and both compile modes: a
+// multi-worker pool changes only the schedule, never a single ciphertext
+// bit.
+func TestParallelInferenceMatchesSerialDigests(t *testing.T) {
+	pool := parallel.New(4)
+	for _, tc := range []struct {
+		name string
+		pnet *cnn.Network
+		seed int64
+		opts Options
+	}{
+		{"mnist-profile", cnn.NewTinyNet(), 50, Options{}},
+		{"mnist-profile-hoisted", cnn.NewTinyNet(), 50, Options{Hoist: true}},
+		{"cifar-profile", cnn.NewTinyConvNet(), 51, Options{}},
+		{"cifar-profile-hoisted", cnn.NewTinyConvNet(), 51, Options{Hoist: true}},
+	} {
+		tc.pnet.InitWeights(tc.seed)
+		serial := inferenceDigest(tc.pnet, tc.seed, tc.opts, nil)
+		par := inferenceDigest(tc.pnet, tc.seed, tc.opts, pool)
+		if serial != par {
+			t.Fatalf("%s: parallel digest %s != serial %s", tc.name, par, serial)
+		}
+	}
+	if st := pool.Stats(); st.Dispatched+st.Inline == 0 {
+		t.Fatal("pool never executed an item — parallel path not exercised")
+	}
+}
+
+// TestHoistedCountBackendRotations: the counting backend must see exactly
+// the hoisted ladder (B−1 multiples of P2), keeping Galois key generation
+// consistent with the crypto backend.
+func TestHoistedCountBackendRotations(t *testing.T) {
+	// 8 cols → P2=8; 4 rows with 128 slots → B=4: hoisted replication uses
+	// rotations -8, -16, -24 instead of the chain's -8, -16.
+	l := NewMatVecGroup("x", 4, 8, 128, func(r, c int) float64 { return 1 }, func(r int) float64 { return 0 })
+	l.Hoist = true
+	rec := NewRecorder()
+	b := NewCountBackend(rec)
+	l.Apply(b, &State{Kind: Contiguous, N: 8, CTs: []*CT{{level: 7, scale: 1}}})
+	for _, k := range []int{-8, -16, -24} {
+		found := false
+		for _, r := range rec.Rotations() {
+			if r == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hoisted replication rotation %d not recorded (got %v)", k, rec.Rotations())
+		}
+	}
+}
+
+// TestHoistedMNISTOpCounts pins the rotation economics on the real MNIST
+// compile: hoisting trades the Fc1 ladders' chain length for rotation count
+// but every rotation after the first in a ladder reuses one decomposition.
+func TestHoistedMNISTOpCounts(t *testing.T) {
+	plain := Compile(cnn.NewMNISTNet(), 4096).Count(7)
+	hoist := CompileWith(cnn.NewMNISTNet(), 4096, Options{Hoist: true}).Count(7)
+	p, h := plain.Layer("Fc1"), hoist.Layer("Fc1")
+	// Replication: B=4 → chain 2 rotations, hoisted 3. Within-block ladders
+	// are unchanged (they rotate fresh ciphertexts each step).
+	if h.Count(ckks.OpRotate) != p.Count(ckks.OpRotate)+1 {
+		t.Fatalf("Fc1 rotations: hoisted %d, plain %d (want +1)",
+			h.Count(ckks.OpRotate), p.Count(ckks.OpRotate))
+	}
+	if plain.TotalHOPs() == hoist.TotalHOPs() {
+		t.Fatal("hoisted compile did not change the op profile")
+	}
+}

@@ -13,6 +13,19 @@ type Network struct {
 	Slots  int
 	CNN    *cnn.Network
 	Layers []Layer
+	Opts   Options
+}
+
+// Options controls how a CNN is compiled into HE layers.
+type Options struct {
+	// Hoist rewrites the KS layers' replication and fold ladders into
+	// linear rotation sums served from one shared keyswitch decomposition
+	// per ladder (Backend.RotateMany). This changes the rotation counts and
+	// the Galois key set — B−1 rotations instead of log2(B) per ladder —
+	// so the same Options must be used for counting (RotationsNeeded),
+	// key generation, and evaluation. Off by default: the default pipeline
+	// and its golden per-layer profiles are unchanged.
+	Hoist bool
 }
 
 // Compile translates a plaintext CNN into its packed homomorphic form:
@@ -23,13 +36,22 @@ type Network struct {
 //     flattened equivalent matrix;
 //   - the final dense layer → MatVecCollect (logits land in slots 0..out-1).
 func Compile(c *cnn.Network, slots int) *Network {
+	return CompileWith(c, slots, Options{})
+}
+
+// CompileWith is Compile with explicit options (see Options).
+func CompileWith(c *cnn.Network, slots int, opts Options) *Network {
 	if len(c.Layers) == 0 {
 		panic("hecnn: empty network")
 	}
 	if _, ok := c.Layers[0].(*cnn.Conv2D); !ok {
 		panic("hecnn: first layer must be a convolution")
 	}
-	n := &Network{Name: c.Name, Slots: slots, CNN: c}
+	n := &Network{Name: c.Name, Slots: slots, CNN: c, Opts: opts}
+	group := func(mv *MatVecGroup) *MatVecGroup {
+		mv.Hoist = opts.Hoist
+		return mv
+	}
 
 	// Track tensor shape through the network for conv flattening.
 	ch, hh, ww := c.InC, c.InH, c.InW
@@ -43,11 +65,11 @@ func Compile(c *cnn.Network, slots int) *Network {
 				cols := ch * hh * ww
 				_, oh, ow := layer.OutShape(ch, hh, ww)
 				winPerMap := oh * ow
-				n.Layers = append(n.Layers, NewMatVecGroup(
+				n.Layers = append(n.Layers, group(NewMatVecGroup(
 					layer.Name(), rows, cols, slots,
 					convMatrix(layer, ch, hh, ww),
 					func(r int) float64 { return layer.Bias[r/winPerMap] },
-				))
+				)))
 			}
 			ch, hh, ww = layer.OutShape(ch, hh, ww)
 		case *cnn.Square:
@@ -57,11 +79,11 @@ func Compile(c *cnn.Network, slots int) *Network {
 			// generic matvec over the flattened tensor.
 			rows := prod3(layer.OutShape(ch, hh, ww))
 			cols := ch * hh * ww
-			n.Layers = append(n.Layers, NewMatVecGroup(
+			n.Layers = append(n.Layers, group(NewMatVecGroup(
 				layer.Name(), rows, cols, slots,
 				poolMatrix(layer, ch, hh, ww),
 				func(int) float64 { return 0 },
-			))
+			)))
 			ch, hh, ww = layer.OutShape(ch, hh, ww)
 		case *cnn.Dense:
 			if i == len(c.Layers)-1 {
@@ -71,13 +93,14 @@ func Compile(c *cnn.Network, slots int) *Network {
 					Weight: layer.Weight,
 					Bias:   func(r int) float64 { return layer.Bias[r] },
 					Slots:  slots,
+					Hoist:  opts.Hoist,
 				})
 			} else {
-				n.Layers = append(n.Layers, NewMatVecGroup(
+				n.Layers = append(n.Layers, group(NewMatVecGroup(
 					layer.Name(), layer.Out, layer.In, slots,
 					layer.Weight,
 					func(r int) float64 { return layer.Bias[r] },
-				))
+				)))
 			}
 			ch, hh, ww = layer.Out, 1, 1
 		default:

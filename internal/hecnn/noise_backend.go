@@ -73,6 +73,16 @@ func (b *noiseBackend) Rotate(x *CT, k int) *CT {
 	return &CT{level: est.Level, scale: est.Scale, noise: &est}
 }
 
+func (b *noiseBackend) RotateMany(x *CT, ks []int) []*CT {
+	// Hoisted and chained rotations carry the same keyswitch noise bound
+	// per rotation, so the estimate is just the per-k model.
+	out := make([]*CT, len(ks))
+	for i, k := range ks {
+		out[i] = b.Rotate(x, k)
+	}
+	return out
+}
+
 // EstimatePrecision predicts the output error bound of the network for
 // inputs bounded by inputMax, along with whether every intermediate stays
 // within the modulus capacity.

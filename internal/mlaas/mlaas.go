@@ -21,6 +21,13 @@
 // side mirrors it: Infer honors a context, and InferRetry adds capped
 // exponential backoff with deterministic jitter for retryable failures.
 // internal/faultnet drives every one of these paths in the test suite.
+//
+// Evaluation parallelism: the server owns one shared worker pool
+// (Config.Workers) attached to the parameters' ring. Concurrent requests
+// and each request's internal limb/digit/rotation fan-out draw from that
+// single budget with non-blocking, work-conserving dispatch, and parallel
+// evaluation is bit-exact with serial — responses never depend on the
+// worker count.
 package mlaas
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/cnn"
 	"fxhenn/internal/hecnn"
+	"fxhenn/internal/parallel"
 	"fxhenn/internal/telemetry"
 )
 
@@ -65,6 +73,16 @@ type Config struct {
 	// RequestBudget is the absolute wall-clock budget for one exchange,
 	// admission to final byte. Default 2m.
 	RequestBudget time.Duration
+	// Workers sizes the shared evaluation worker pool attached to the
+	// parameters' ring: 0 (the default) uses GOMAXPROCS workers, 1 forces
+	// fully serial evaluation, n > 1 uses exactly n. All concurrent
+	// requests draw from this one pool, so intra-request (limb/digit/
+	// rotation) and inter-request parallelism share a single budget: pool
+	// dispatch is non-blocking and a request whose fan-out finds every
+	// worker busy simply computes on its own goroutine, which keeps
+	// scheduling fair and work-conserving under load. Parallel evaluation
+	// is bit-exact with serial evaluation.
+	Workers int
 
 	// Metrics, when non-nil, receives the server's telemetry: request
 	// counters by status, phase/request latency histograms, the in-flight
@@ -115,6 +133,7 @@ type Server struct {
 	ctx    *hecnn.Context
 	cfg    Config
 	sem    chan struct{}
+	pool   *parallel.Pool
 
 	// met is nil when Config.Metrics is nil; reqSeq tags every exchange
 	// with a monotonically increasing id that appears in failure messages
@@ -149,7 +168,15 @@ func NewServer(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.Relineari
 // NewServerWithConfig builds a server with explicit limits.
 func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks.RelinearizationKey, rtk *ckks.RotationKeys, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// One pool for the whole server: every request's limb/digit/rotation
+	// fan-out and the request-level concurrency compete for the same
+	// Workers budget (see Config.Workers). Evaluation stays deterministic,
+	// so attaching the pool never changes a response byte.
+	pool := parallel.New(cfg.Workers)
+	params.AttachPool(pool)
+	pool.SetMetrics(cfg.Metrics)
 	return &Server{
+		pool:   pool,
 		params: params,
 		net:    henet,
 		ctx: &hecnn.Context{
@@ -185,6 +212,10 @@ func (s *Server) Stats() Stats {
 	defer s.mu.Unlock()
 	return s.stats
 }
+
+// PoolStats returns a snapshot of the evaluation worker pool's scheduling
+// counters (workers, busy, items by execution mode).
+func (s *Server) PoolStats() parallel.Stats { return s.pool.Stats() }
 
 // Serve accepts connections until the listener closes or the server shuts
 // down, handling one inference per connection. During a drain it keeps

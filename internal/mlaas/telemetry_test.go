@@ -181,12 +181,14 @@ func TestSlowRequestLogBreakdown(t *testing.T) {
 // pins that every counter mutation and the snapshot read are synchronized,
 // and the final snapshot accounts for every request exactly once.
 func TestStatsSnapshotConsistentUnderLoad(t *testing.T) {
-	fx := newMetricsFixture(t, Config{MaxConcurrent: 8})
-
 	const (
 		goodReqs = 4
 		badReqs  = 12
 	)
+	// Enough slots for every request at once: on a loaded runner the
+	// arrivals can bunch, and a busy refusal would shift a request from
+	// the bad-request column this test pins exact counts for.
+	fx := newMetricsFixture(t, Config{MaxConcurrent: goodReqs + badReqs})
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	// Readers: continuously snapshot Stats and check internal consistency

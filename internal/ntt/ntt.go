@@ -7,6 +7,12 @@
 // Naehrig: the forward transform folds the ψ^i twisting into the butterfly
 // twiddles (stored in bit-reversed order), so polynomial multiplication is
 // NTT → pointwise → INTT with no separate bit-reversal or twisting passes.
+//
+// Parallelism contract: a Table is immutable after NewTable, so Forward and
+// Inverse are safe to call concurrently on distinct coefficient slices. A
+// single transform is intentionally single-threaded — parallelism lives one
+// layer up, in package ring, which dispatches one transform per RNS limb to
+// the shared worker pool (each limb is an independent Table).
 package ntt
 
 import (

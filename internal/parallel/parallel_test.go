@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fxhenn/internal/telemetry"
+)
+
+// TestDoCoversEveryIndex: every index runs exactly once, for serial and
+// parallel pools, across a range of fan-outs.
+func TestDoCoversEveryIndex(t *testing.T) {
+	pools := map[string]*Pool{
+		"nil":     nil,
+		"serial":  New(1),
+		"two":     New(2),
+		"eight":   New(8),
+		"default": New(0),
+	}
+	for name, p := range pools {
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			p.Do(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("%s pool, n=%d: index %d ran %d times", name, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDoNested: a task that itself calls Do must not deadlock — saturated
+// dispatch degrades to inline execution on the worker's goroutine.
+func TestDoNested(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	p.Do(8, func(i int) {
+		p.Do(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested Do ran %d inner items, want 64", got)
+	}
+}
+
+// TestDoConcurrentCallers: many goroutines share one pool (the mlaas
+// shape: inter-request parallelism over the same budget as intra-request).
+func TestDoConcurrentCallers(t *testing.T) {
+	p := New(3)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				p.Do(10, func(i int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 16*50*10 {
+		t.Fatalf("concurrent Do ran %d items, want %d", got, 16*50*10)
+	}
+	st := p.Stats()
+	if st.Busy != 0 {
+		t.Fatalf("pool quiescent but busy=%d", st.Busy)
+	}
+	if st.Dispatched+st.Inline != 16*50*10 {
+		t.Fatalf("counters %d+%d do not account for all items", st.Dispatched, st.Inline)
+	}
+}
+
+// TestDoPanicPropagates: a panicking item must surface in the caller, and
+// by the time Do re-panics no in-flight item is still running (started
+// items complete before the panic escapes). This is what lets the mlaas
+// per-request recover() confine an evaluation panic to one request even
+// when the evaluation fanned out to pool workers.
+func TestDoPanicPropagates(t *testing.T) {
+	for _, p := range []*Pool{nil, New(1), New(4)} {
+		var running atomic.Int64
+		var sawConcurrent atomic.Bool
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("panic did not propagate through Do")
+				} else if r != "boom" {
+					t.Fatalf("wrong panic value %v", r)
+				}
+				if running.Load() != 0 {
+					t.Fatal("items still running after Do panicked")
+				}
+			}()
+			p.Do(64, func(i int) {
+				running.Add(1)
+				defer running.Add(-1)
+				if i == 3 {
+					panic("boom")
+				}
+				sawConcurrent.Store(true)
+			})
+		}()
+	}
+}
+
+// TestWorkersAndStats pins the sizing rules: nil → 1, <=0 → GOMAXPROCS,
+// explicit sizes kept.
+func TestWorkersAndStats(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", nilPool.Workers())
+	}
+	if got := nilPool.Stats(); got.Workers != 1 || got.Dispatched != 0 {
+		t.Fatalf("nil pool stats = %+v", got)
+	}
+	if New(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("explicit pool workers = %d", got)
+	}
+}
+
+// TestSetMetrics: the pool publishes its gauges and item counters.
+func TestSetMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(2)
+	p.SetMetrics(reg)
+	p.Do(100, func(int) {})
+	snap := reg.Snapshot()
+	if f := snap.Family("parallel_pool_workers"); f == nil || f.Metrics[0].Value != 2 {
+		t.Fatalf("parallel_pool_workers missing or wrong: %+v", f)
+	}
+	items := snap.Family("parallel_pool_items_total")
+	if items == nil {
+		t.Fatal("parallel_pool_items_total missing")
+	}
+	var total float64
+	for _, m := range items.Metrics {
+		total += m.Value
+	}
+	if total != 100 {
+		t.Fatalf("item counters sum to %v, want 100", total)
+	}
+	// nil registry and nil pool are no-ops.
+	p.SetMetrics(nil)
+	var nilPool *Pool
+	nilPool.SetMetrics(reg)
+}

@@ -43,13 +43,9 @@ func (r *Ring) PermuteNTT(out, a *Poly, perm []int) {
 		panic("ring: PermuteNTT requires out != a")
 	}
 	k := r.checkSameK(out, a)
-	for i := 0; i < k; i++ {
-		src := a.Coeffs[i]
-		dst := out.Coeffs[i]
-		for j, p := range perm {
-			dst[j] = src[p]
-		}
-	}
+	r.do(k, minParallelCoeffs, func(i int) {
+		PermuteVec(out.Coeffs[i], a.Coeffs[i], perm)
+	})
 }
 
 // PermuteVec applies the permutation to a single residue row.

@@ -2,15 +2,41 @@
 // R_Q = Z_Q[X]/(X^N+1) used by RNS-CKKS (§II-A). A polynomial is stored as L
 // residue polynomials ("RNS polynomials" poly_{q_i} in the paper's notation),
 // one per prime factor q_i of Q, each of which is what the accelerator's
-// basic operation modules (NTT/INTT, ModAdd, ModMult, ...) stream.
+// basic operation modules (NTT/INTT, ModAdd, ModMult, ...) stream. The RNS
+// residues are exactly the CRT decomposition of Eq. 1, a ⊙ b ≡ (a_i ⊙ b_i
+// mod q_i)_i, which is what makes every Ring operation independent per limb.
+//
+// Parallelism contract: a Ring is immutable after construction except for
+// AttachPool, and every method is safe to call concurrently on distinct
+// polynomials. When a parallel.Pool is attached, row-parallel operations
+// (NTT, INTT, the pointwise vector ops, DivRoundByLastModulus, Automorphism,
+// PermuteNTT) dispatch one work item per RNS limb once the work exceeds the
+// serial cutoffs below; each limb is computed by exactly the same scalar
+// code as the serial path, so parallel and serial execution are bit-exact.
+// Operations on the *same* Poly must still be externally serialized — the
+// pool parallelizes within one operation, not across operations.
 package ring
 
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"fxhenn/internal/modarith"
 	"fxhenn/internal/ntt"
+	"fxhenn/internal/parallel"
+)
+
+// Serial cutoffs for limb-parallel dispatch: a transform costs O(N log N)
+// per limb and is worth a pool item from modest degrees; pointwise ops are
+// O(N) per limb and need more total coefficients before the handoff pays.
+const (
+	// minParallelN is the smallest ring degree for which per-limb NTT/INTT
+	// (and the rescale/automorphism row loops) fan out to the pool.
+	minParallelN = 512
+	// minParallelCoeffs is the smallest total coefficient count (rows × N)
+	// for which pointwise vector ops fan out to the pool.
+	minParallelCoeffs = 1 << 14
 )
 
 // Ring bundles the transform tables and modular contexts for a fixed
@@ -29,6 +55,41 @@ type Ring struct {
 	halfLast []uint64
 	// lastModRed[k][j] = q_{k-1} mod q_j.
 	lastModRed [][]uint64
+
+	// pool, when non-nil, parallelizes row loops across RNS limbs. Held
+	// through an atomic pointer so AttachPool may race with evaluation.
+	pool atomic.Pointer[parallel.Pool]
+}
+
+// AttachPool makes subsequent row loops dispatch per-limb work items to p.
+// A nil p detaches the pool (all operations run serially). Safe to call
+// concurrently with evaluation; in-flight operations keep the pool they
+// started with.
+func (r *Ring) AttachPool(p *parallel.Pool) {
+	if p == nil || p.Workers() <= 1 {
+		r.pool.Store(nil)
+		return
+	}
+	r.pool.Store(p)
+}
+
+// Pool returns the currently attached worker pool, or nil.
+func (r *Ring) Pool() *parallel.Pool { return r.pool.Load() }
+
+// do runs fn(i) for i in [0,n), fanning out to the attached pool when there
+// are at least two rows and the per-operation work clears minCoeffs total
+// coefficients. Rows always execute with the same scalar code as the serial
+// path, so the result is bit-exact either way.
+func (r *Ring) do(n, minCoeffs int, fn func(i int)) {
+	if n >= 2 && n*r.N >= minCoeffs {
+		if p := r.pool.Load(); p != nil {
+			p.Do(n, fn)
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
 }
 
 // NewRing constructs a ring of degree n over the given NTT-friendly prime
@@ -136,64 +197,66 @@ func (r *Ring) checkSameK(ps ...*Poly) int {
 // Add computes out = a + b componentwise (same levels required).
 func (r *Ring) Add(out, a, b *Poly) {
 	k := r.checkSameK(out, a, b)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].AddVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
-	}
+	})
 }
 
 // Sub computes out = a - b.
 func (r *Ring) Sub(out, a, b *Poly) {
 	k := r.checkSameK(out, a, b)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].SubVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
-	}
+	})
 }
 
 // Neg computes out = -a.
 func (r *Ring) Neg(out, a *Poly) {
 	k := r.checkSameK(out, a)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].NegVec(out.Coeffs[i], a.Coeffs[i])
-	}
+	})
 }
 
 // MulCoeffs computes out = a ⊙ b, the pointwise product. In the NTT domain
 // this is negacyclic polynomial multiplication.
 func (r *Ring) MulCoeffs(out, a, b *Poly) {
 	k := r.checkSameK(out, a, b)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].MulVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
-	}
+	})
 }
 
 // MulCoeffsAdd computes out += a ⊙ b, the HE-MAC kernel of the accelerator.
 func (r *Ring) MulCoeffsAdd(out, a, b *Poly) {
 	k := r.checkSameK(out, a, b)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].MulAddVec(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
-	}
+	})
 }
 
 // MulScalar computes out = s * a for a word scalar s.
 func (r *Ring) MulScalar(out, a *Poly, s uint64) {
 	k := r.checkSameK(out, a)
-	for i := 0; i < k; i++ {
+	r.do(k, minParallelCoeffs, func(i int) {
 		r.Mods[i].ScalarMulVec(out.Coeffs[i], a.Coeffs[i], r.Mods[i].Reduce(s))
-	}
+	})
 }
 
 // NTT transforms every residue row of p to the evaluation domain in place.
+// Rows are independent (one transform per RNS limb), so with a pool attached
+// each limb is a separate work item.
 func (r *Ring) NTT(p *Poly) {
-	for i := range p.Coeffs {
+	r.do(p.K(), 2*minParallelN, func(i int) {
 		r.Tables[i].Forward(p.Coeffs[i])
-	}
+	})
 }
 
 // INTT transforms every residue row of p back to coefficient domain in place.
 func (r *Ring) INTT(p *Poly) {
-	for i := range p.Coeffs {
+	r.do(p.K(), 2*minParallelN, func(i int) {
 		r.Tables[i].Inverse(p.Coeffs[i])
-	}
+	})
 }
 
 // DivRoundByLastModulus implements the RNS Rescale basic step: it divides the
@@ -207,7 +270,9 @@ func (r *Ring) DivRoundByLastModulus(p *Poly) {
 	}
 	last := p.Coeffs[k-1]
 	half := r.halfLast[k]
-	for j := 0; j < k-1; j++ {
+	// Rows j < k-1 only read the shared last row and write their own row, so
+	// they are independent work items.
+	r.do(k-1, 2*minParallelN, func(j int) {
 		mj := r.Mods[j]
 		inv := r.rescaleInv[k][j]
 		qlRed := r.lastModRed[k][j]
@@ -222,7 +287,7 @@ func (r *Ring) DivRoundByLastModulus(p *Poly) {
 			}
 			row[n] = inv.Mul(mj.Sub(row[n], rep), mj)
 		}
-	}
+	})
 	p.DropLast(1)
 }
 
@@ -239,7 +304,7 @@ func (r *Ring) Automorphism(out, a *Poly, g uint64) {
 	}
 	n := uint64(r.N)
 	mask := 2*n - 1
-	for i := 0; i < k; i++ {
+	r.do(k, 2*minParallelN, func(i int) {
 		m := r.Mods[i]
 		src := a.Coeffs[i]
 		dst := out.Coeffs[i]
@@ -254,7 +319,7 @@ func (r *Ring) Automorphism(out, a *Poly, g uint64) {
 			}
 			idx = (idx + g) & mask
 		}
-	}
+	})
 }
 
 // ComposeCoeff reconstructs coefficient j of the coefficient-domain poly p as

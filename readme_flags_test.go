@@ -1,0 +1,74 @@
+package fxhenn
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestREADMEFlagsExist pins the README's command documentation to the
+// actual binaries: every `go run ./cmd/<name> -flag ...` invocation the
+// README shows is parsed out, the binary is built, and its -h output
+// must mention every documented flag. A flag renamed or removed without
+// updating the README fails here, not in a user's terminal.
+func TestREADMEFlagsExist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds command binaries")
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagsByCmd := readmeCmdFlags(string(readme))
+	if len(flagsByCmd) == 0 {
+		t.Fatal("no ./cmd invocations found in README.md — parser broken?")
+	}
+	tmp := t.TempDir()
+	for name, flags := range flagsByCmd {
+		if len(flags) == 0 {
+			continue
+		}
+		bin := filepath.Join(tmp, name)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building cmd/%s: %v\n%s", name, err, out)
+		}
+		// flag packages exit 0 or 2 on -h; only the usage text matters.
+		help, _ := exec.Command(bin, "-h").CombinedOutput()
+		for _, f := range flags {
+			if !regexp.MustCompile(`(?m)^\s+-` + regexp.QuoteMeta(f) + `\b`).Match(help) {
+				t.Errorf("README documents cmd/%s -%s, but -h does not list it:\n%s", name, f, help)
+			}
+		}
+	}
+}
+
+// readmeCmdFlags extracts, per cmd binary, the set of -flags the README
+// shows being passed to it (table rows and code blocks, with backslash
+// line continuations joined).
+func readmeCmdFlags(readme string) map[string][]string {
+	joined := strings.ReplaceAll(readme, "\\\n", " ")
+	cmdRe := regexp.MustCompile(`\./cmd/([a-z-]+)((?:\s+-[a-z][a-z0-9-]*(?:[= ][^\s|` + "`" + `]+)?)*)`)
+	flagRe := regexp.MustCompile(`-([a-z][a-z0-9-]*)`)
+	out := map[string][]string{}
+	seen := map[string]map[string]bool{}
+	for _, m := range cmdRe.FindAllStringSubmatch(joined, -1) {
+		name := m[1]
+		if seen[name] == nil {
+			seen[name] = map[string]bool{}
+		}
+		for _, fm := range flagRe.FindAllStringSubmatch(m[2], -1) {
+			// Skip value tokens that happen to contain dashes by only
+			// taking tokens that started with a dash in the source: the
+			// capture group above already guarantees that shape.
+			if !seen[name][fm[1]] {
+				seen[name][fm[1]] = true
+				out[name] = append(out[name], fm[1])
+			}
+		}
+	}
+	return out
+}
