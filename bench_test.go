@@ -272,6 +272,28 @@ func benchInference(b *testing.B, pnet *cnn.Network, params ckks.Parameters, wor
 	}
 }
 
+// benchInferenceCached is benchInference through a warmed
+// hecnn.CompiledNetwork: every weight/bias plaintext is pre-encoded at
+// its consumed (level, scale), so the loop performs zero Encoder.Encode
+// calls for model operands. Same serial workers=1 setup as the base rows,
+// so the base/_Cached ratio isolates the encoding saved per inference.
+func benchInferenceCached(b *testing.B, pnet *cnn.Network, params ckks.Parameters, opts hecnn.Options) {
+	pnet.InitWeights(1)
+	net := hecnn.CompileWith(pnet, params.Slots(), opts)
+	ctx := hecnn.NewContext(params, 2, net.RotationsNeeded(params.MaxLevel()))
+	cn := hecnn.NewCompiledNetwork(net, params, ctx.Encoder, 0)
+	cn.Warm(params.MaxLevel())
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cn.Run(ctx, img)
+	}
+}
+
 func BenchmarkInference_Tiny(b *testing.B) {
 	benchInference(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45), 1, hecnn.Options{})
 }
@@ -306,6 +328,20 @@ func BenchmarkInference_MNIST_Parallel(b *testing.B) {
 // hoisting) on top of the worker pool.
 func BenchmarkInference_MNIST_Hoisted(b *testing.B) {
 	benchInference(b, cnn.NewMNISTNet(), ckks.ParamsMNIST(), 0, hecnn.Options{Hoist: true})
+}
+
+func BenchmarkInference_Tiny_Cached(b *testing.B) {
+	benchInferenceCached(b, cnn.NewTinyNet(), ckks.NewParameters(8, 30, 7, 45), hecnn.Options{})
+}
+
+func BenchmarkInference_TinyConv_Cached(b *testing.B) {
+	benchInferenceCached(b, cnn.NewTinyConvNet(), ckks.NewParameters(8, 30, 7, 45), hecnn.Options{})
+}
+
+// BenchmarkInference_MNIST_Cached is the serve-path steady state at paper
+// parameters: the serial MNIST row minus every per-request weight encode.
+func BenchmarkInference_MNIST_Cached(b *testing.B) {
+	benchInferenceCached(b, cnn.NewMNISTNet(), ckks.ParamsMNIST(), hecnn.Options{})
 }
 
 // BenchmarkEvaluateTracedNilTracer pins (as a benchmark, alongside the

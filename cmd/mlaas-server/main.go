@@ -1,9 +1,15 @@
 // Command mlaas-server runs the hardened MLaaS inference server on a TCP
-// listener with flag-configurable limits: concurrency slots, per-I/O
-// deadlines, and a total per-request budget. SIGINT/SIGTERM triggers a
-// graceful drain — in-flight inferences complete, new connections are
-// refused with a typed shutting-down status, and the drop count is
-// reported if the drain deadline expires.
+// listener with flag-configurable limits: concurrency slots, an optional
+// admission queue (-queue-depth) where bursts wait out saturation instead
+// of bouncing busy, per-I/O deadlines, and a total per-request budget.
+// SIGINT/SIGTERM triggers a graceful drain — in-flight inferences
+// complete, new connections are refused with a typed shutting-down
+// status, and the drop count is reported if the drain deadline expires.
+//
+// Serve-path caching: the server pre-encodes every weight/bias plaintext
+// at the exact levels and scales the compiled plan consumes, so
+// steady-state requests perform zero encodings; -cache-bytes bounds the
+// resident cache (negative disables it).
 //
 // Parallelism: -workers sizes the shared evaluation worker pool (0 =
 // GOMAXPROCS, 1 = serial; results are bit-identical either way) and
@@ -53,6 +59,8 @@ func main() {
 	netName := flag.String("net", "tiny", "network: tiny, tinyconv or mnist")
 	seed := flag.Int64("seed", 1, "weight/key seed")
 	maxConcurrent := flag.Int("max-concurrent", 4, "evaluation slots before requests are refused busy")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue: requests beyond the evaluation slots wait here, up to their budget, before busy (0 = fail fast)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for the encoded-weight plaintext cache (0 = default, negative disables caching)")
 	workers := flag.Int("workers", 0, "evaluation worker pool size shared by all requests (0 = GOMAXPROCS, 1 = serial)")
 	hoist := flag.Bool("hoist", false, "compile KS layers with hoisted rotations (shared keyswitch decompositions)")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "rolling per-read/write deadline")
@@ -99,6 +107,8 @@ func main() {
 	}
 	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
 		MaxConcurrent:        *maxConcurrent,
+		QueueDepth:           *queueDepth,
+		CacheBytes:           *cacheBytes,
 		IOTimeout:            *ioTimeout,
 		RequestBudget:        *requestBudget,
 		Workers:              *workers,

@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fxhenn/internal/telemetry"
+)
+
+// TestLRUEvictionOrder pins the eviction discipline: with a byte budget of
+// three unit entries, touching an old entry protects it and the least
+// recently used entry goes first.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Put("c", 3, 1)
+	if _, ok := c.Get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing before budget pressure")
+	}
+	c.Put("d", 4, 1) // must evict b, the LRU entry
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order broken")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 3 {
+		t.Fatalf("stats after one eviction: %+v", st)
+	}
+}
+
+// TestByteBudget pins that the budget is counted in reported sizes, not
+// entry counts, and that an oversize value is returned but never stays
+// resident.
+func TestByteBudget(t *testing.T) {
+	c := New[string, string](100)
+	c.Put("a", "x", 60)
+	c.Put("b", "y", 30)
+	if st := c.Stats(); st.Bytes != 90 || st.Entries != 2 {
+		t.Fatalf("under budget yet %+v", st)
+	}
+	c.Put("c", "z", 40) // 130 > 100: evict a (LRU, 60) → 70
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted to honor the budget")
+	}
+	if st := c.Stats(); st.Bytes != 70 {
+		t.Fatalf("bytes after eviction = %d, want 70", st.Bytes)
+	}
+
+	v, err := c.GetOrCompute("huge", func() (string, int64, error) { return "big", 500, nil })
+	if err != nil || v != "big" {
+		t.Fatalf("oversize fill returned (%q, %v)", v, err)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("value larger than the whole budget stayed resident")
+	}
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}
+
+// TestGetOrComputeSingleflight hammers one key from many goroutines: the
+// fill must run exactly once and every caller must observe its value.
+// Run under -race this also exercises the publication of the shared call
+// result.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New[int, int](0)
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, err := c.GetOrCompute(7, func() (int, int64, error) {
+				fills.Add(1)
+				return 42, 8, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCompute = (%d, %v), want (42, nil)", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times for one key, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("singleflight accounting hits=%d misses=%d, want %d/1", st.Hits, st.Misses, callers-1)
+	}
+}
+
+// TestGetOrComputeError: a failing fill reaches every waiter and caches
+// nothing, so the next call retries.
+func TestGetOrComputeError(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed fill was cached")
+	}
+	v, err := c.GetOrCompute("k", func() (int, int64, error) { return 5, 1, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry after failed fill = (%d, %v)", v, err)
+	}
+}
+
+// TestPurgeInvalidatesInflightFill pins the invalidation contract: a fill
+// already running when Purge is called still returns its value to its
+// caller, but the value must not be inserted — no stale entry survives an
+// invalidation.
+func TestPurgeInvalidatesInflightFill(t *testing.T) {
+	c := New[string, int](0)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrCompute("k", func() (int, int64, error) {
+			close(started)
+			<-unblock
+			return 9, 1, nil
+		})
+		if err != nil || v != 9 {
+			t.Errorf("in-flight fill returned (%d, %v)", v, err)
+		}
+	}()
+	<-started
+	c.Purge()
+	close(unblock)
+	<-done
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("value filled across a Purge was inserted; invalidation leaked a stale entry")
+	}
+}
+
+// TestConcurrentMixedOps is the -race hammer over the full surface:
+// concurrent GetOrCompute across a keyspace larger than the budget, with
+// purges and removes interleaved. Correctness here is "no race, no panic,
+// budget honored at quiescence".
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (seed*31 + i) % 32
+				switch {
+				case i%17 == 0:
+					c.Remove(k)
+				case i%43 == 0:
+					c.Purge()
+				default:
+					v, err := c.GetOrCompute(k, func() (int, int64, error) { return k * 2, 8, nil })
+					if err != nil || v != k*2 {
+						t.Errorf("key %d: (%d, %v)", k, v, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 64 {
+		t.Fatalf("byte budget violated at quiescence: %+v", st)
+	}
+}
+
+// TestMetrics checks the registry integration end to end, including the
+// Prometheus exposition names the dashboards scrape.
+func TestMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New[string, int](2)
+	c.SetMetrics(reg, "test")
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Get("a")
+	c.Get("nope")
+	c.Put("c", 3, 1) // evicts b
+
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		MetricHits:      1,
+		MetricMisses:    1,
+		MetricEvictions: 1,
+		MetricEntries:   2,
+		MetricBytes:     2,
+	}
+	for name, v := range want {
+		m := snap.Family(name).Metric(telemetry.L("cache", "test"))
+		if m == nil {
+			t.Fatalf("metric %s{cache=test} not exposed", name)
+		}
+		if m.Value != v {
+			t.Errorf("%s = %v, want %v", name, m.Value, v)
+		}
+	}
+}
+
+// TestReplaceAccounting: re-putting a key must not double-count its bytes.
+func TestReplaceAccounting(t *testing.T) {
+	c := New[string, int](0)
+	c.Put("k", 1, 10)
+	c.Put("k", 2, 30)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 30 {
+		t.Fatalf("replace accounting %+v, want 1 entry / 30 bytes", st)
+	}
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("replace kept old value %d", v)
+	}
+}
+
+func ExampleCache() {
+	c := New[string, string](1 << 20)
+	v, _ := c.GetOrCompute("greeting", func() (string, int64, error) {
+		return "hello", 5, nil
+	})
+	fmt.Println(v)
+	// Output: hello
+}

@@ -104,7 +104,8 @@ func (ev *Evaluator) SubNew(a, b *Ciphertext) *Ciphertext {
 }
 
 // AddPlainNew returns ct + pt (PCadd). The plaintext must be at ct's level
-// or higher and share its scale.
+// or higher and share its scale. pt is read-only (see the Plaintext reuse
+// contract): it may be shared by concurrent AddPlainNew/MulPlainNew calls.
 func (ev *Evaluator) AddPlainNew(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	level := ct.Level()
 	if pt.Level() < level {
@@ -119,7 +120,9 @@ func (ev *Evaluator) AddPlainNew(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 }
 
 // MulPlainNew returns ct ⊙ pt (PCmult). Scales multiply; a Rescale is
-// normally applied afterwards, as in the paper's NKS pipeline.
+// normally applied afterwards, as in the paper's NKS pipeline. pt is
+// read-only (see the Plaintext reuse contract): it may be shared by
+// concurrent AddPlainNew/MulPlainNew calls.
 func (ev *Evaluator) MulPlainNew(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	level := ct.Level()
 	if pt.Level() < level {

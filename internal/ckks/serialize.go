@@ -128,6 +128,17 @@ func (ct *Ciphertext) SerializedSize() int {
 	return n
 }
 
+// Digest returns the hex-encoded SHA-256 of the plaintext's serialized
+// form — the witness of the Plaintext reuse contract: using a plaintext
+// as an evaluator operand never changes its digest.
+func (pt *Plaintext) Digest() string {
+	h := sha256.New()
+	if _, err := pt.WriteTo(h); err != nil {
+		panic(err) // hash.Hash never errors on Write
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // WriteTo serializes the plaintext (scale, NTT flag, poly).
 func (pt *Plaintext) WriteTo(w io.Writer) (int64, error) {
 	var n int64

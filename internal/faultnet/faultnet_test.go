@@ -133,7 +133,7 @@ func TestShortReads(t *testing.T) {
 func TestReadDelayTripsDeadline(t *testing.T) {
 	a, b := net.Pipe()
 	cli := New(a, Config{ReadDelay: 50 * time.Millisecond})
-	go b.Write([]byte("late")) //nolint:errcheck
+	go b.Write([]byte("late"))                                //nolint:errcheck
 	cli.SetReadDeadline(time.Now().Add(5 * time.Millisecond)) //nolint:errcheck
 	buf := make([]byte, 4)
 	_, err := cli.Read(buf)

@@ -1,0 +1,228 @@
+package hecnn
+
+import (
+	"sync"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+)
+
+// compiledFixture builds a tiny network in the requested compile mode
+// plus a fresh Context with deterministic key/encryption seeds, so two
+// fixtures with the same arguments produce bit-identical ciphertexts.
+func compiledFixture(t *testing.T, hoist bool) (ckks.Parameters, *Network, *Context, *cnn.Tensor) {
+	t.Helper()
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(11)
+	net := CompileWith(pnet, params.Slots(), Options{Hoist: hoist})
+	ctx := NewContext(params, 5, net.RotationsNeeded(params.MaxLevel()))
+	img := cnn.NewTensor(1, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = float64(i%5)/5 - 0.3
+	}
+	return params, net, ctx, img
+}
+
+// encryptInput packs and encrypts img with the fixture's deterministic
+// encryptor; callers needing identical ciphertexts across runs must use
+// fresh fixtures (the encryptor PRNG is stateful).
+func encryptInput(net *Network, ctx *Context, img *cnn.Tensor) []*CT {
+	var cts []*CT
+	for _, v := range net.PackInput(img) {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	return cts
+}
+
+// TestCompiledZeroEncodeSteadyState is the serve-path caching contract,
+// in both compile modes: after Warm, inference through the cached
+// backend performs zero Encoder.Encode calls (the encode seam fails the
+// test if touched) and its output ciphertext is bit-identical to the
+// uncached crypto backend's.
+func TestCompiledZeroEncodeSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		hoist bool
+	}{{"default", false}, {"hoist", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Uncached reference run on its own fixture (same seeds).
+			_, net, ctx, img := compiledFixture(t, tc.hoist)
+			out := net.EvaluateEncrypted(NewCryptoBackend(ctx, nil), encryptInput(net, ctx, img))
+			wantDigest := out.Ciphertext().Digest()
+			wantLogits := ctx.DecryptVector(out)[:net.Layers[len(net.Layers)-1].OutElems()]
+
+			// Cached run: warm, then forbid encodes entirely.
+			params2, net2, ctx2, img2 := compiledFixture(t, tc.hoist)
+			cn := NewCompiledNetwork(net2, params2, ctx2.Encoder, 0)
+			cn.Warm(params2.MaxLevel())
+			warmEncodes := cn.EncodeCalls()
+			if warmEncodes == 0 {
+				t.Fatal("Warm encoded nothing — plan backend broken")
+			}
+			cn.encode = func([]float64, int, float64) *ckks.Plaintext {
+				t.Fatal("Encoder.Encode called during steady-state cached inference")
+				return nil
+			}
+			cts := encryptInput(net2, ctx2, img2)
+			got := net2.EvaluateEncrypted(cn.Backend(ctx2, nil), cts)
+			if d := got.Ciphertext().Digest(); d != wantDigest {
+				t.Fatalf("cached output digest %s != uncached %s", d, wantDigest)
+			}
+			gotLogits := ctx2.DecryptVector(got)[:net2.Layers[len(net2.Layers)-1].OutElems()]
+			for i := range wantLogits {
+				if gotLogits[i] != wantLogits[i] {
+					t.Fatalf("logit %d: cached %g != uncached %g", i, gotLogits[i], wantLogits[i])
+				}
+			}
+			if cn.EncodeCalls() != warmEncodes {
+				t.Fatalf("encode calls grew %d → %d after Warm", warmEncodes, cn.EncodeCalls())
+			}
+			if st := cn.CacheStats(); st.Misses == 0 || st.Hits == 0 {
+				t.Fatalf("implausible cache stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestCompiledColdFillsOnDemand: without Warm, the first inference fills
+// the cache (encodes > 0) and the second performs zero new encodes —
+// get-or-compute alone reaches the steady state.
+func TestCompiledColdFillsOnDemand(t *testing.T) {
+	params, net, ctx, img := compiledFixture(t, false)
+	cn := NewCompiledNetwork(net, params, ctx.Encoder, 0)
+	net.EvaluateEncrypted(cn.Backend(ctx, nil), encryptInput(net, ctx, img))
+	afterFirst := cn.EncodeCalls()
+	if afterFirst == 0 {
+		t.Fatal("cold run performed no encodes")
+	}
+	net.EvaluateEncrypted(cn.Backend(ctx, nil), encryptInput(net, ctx, img))
+	if got := cn.EncodeCalls(); got != afterFirst {
+		t.Fatalf("second cold-path run re-encoded: %d → %d", afterFirst, got)
+	}
+}
+
+// TestCompiledWarmMatchesConsumption: Warm must pre-encode exactly the
+// operand set an inference consumes — a warm run followed by one
+// inference shows hits only, and the miss count equals the warm encode
+// count (no wasted or missing keys).
+func TestCompiledWarmMatchesConsumption(t *testing.T) {
+	params, net, ctx, img := compiledFixture(t, false)
+	cn := NewCompiledNetwork(net, params, ctx.Encoder, 0)
+	cn.Warm(params.MaxLevel())
+	warm := cn.CacheStats()
+	net.EvaluateEncrypted(cn.Backend(ctx, nil), encryptInput(net, ctx, img))
+	st := cn.CacheStats()
+	if st.Misses != warm.Misses {
+		t.Fatalf("inference missed the warm cache: misses %d → %d", warm.Misses, st.Misses)
+	}
+	if st.Hits <= warm.Hits {
+		t.Fatalf("inference produced no cache hits (hits %d → %d)", warm.Hits, st.Hits)
+	}
+}
+
+// TestCompiledInvalidateOnRebind pins the invalidation path: switching
+// the compile mode (hoist) through Rebind drops every cached plaintext,
+// re-warms under a new generation, and still produces output
+// bit-identical to an uncached evaluation of the hoisted plan.
+func TestCompiledInvalidateOnRebind(t *testing.T) {
+	params, net, ctx, _ := compiledFixture(t, false)
+	cn := NewCompiledNetwork(net, params, ctx.Encoder, 0)
+	cn.Warm(params.MaxLevel())
+	if cn.CacheStats().Entries == 0 {
+		t.Fatal("warm cache empty")
+	}
+	preRebind := cn.EncodeCalls()
+
+	// Hoist mode changes the rotation set, so the hoisted network needs
+	// its own Galois keys — and the cache must not serve stale operands.
+	hoisted := CompileWith(net.CNN, params.Slots(), Options{Hoist: true})
+	cn.Rebind(hoisted)
+	if st := cn.CacheStats(); st.Entries != 0 {
+		t.Fatalf("Rebind left %d stale entries resident", st.Entries)
+	}
+	cn.Warm(params.MaxLevel())
+	if cn.EncodeCalls() == preRebind {
+		t.Fatal("re-warm after Rebind encoded nothing — stale generation served")
+	}
+
+	// Fresh fixtures with identical seeds: cached-hoisted must equal
+	// uncached-hoisted bit for bit.
+	_, hnet, hctx, himg := compiledFixture(t, true)
+	want := hnet.EvaluateEncrypted(NewCryptoBackend(hctx, nil), encryptInput(hnet, hctx, himg)).Ciphertext().Digest()
+	_, hnet2, hctx2, himg2 := compiledFixture(t, true)
+	cn2 := NewCompiledNetwork(hnet2, params, hctx2.Encoder, 0)
+	cn2.Warm(params.MaxLevel())
+	got := hnet2.EvaluateEncrypted(cn2.Backend(hctx2, nil), encryptInput(hnet2, hctx2, himg2)).Ciphertext().Digest()
+	if got != want {
+		t.Fatalf("cached hoisted digest %s != uncached %s", got, want)
+	}
+}
+
+// TestCompiledConcurrentRequests shares one warm CompiledNetwork across
+// concurrent per-request backends on one Context — the mlaas serving
+// shape — under -race: every response must be bit-identical (evaluation
+// is deterministic server-side) and no new encodes may happen.
+func TestCompiledConcurrentRequests(t *testing.T) {
+	params, net, ctx, img := compiledFixture(t, false)
+	cn := NewCompiledNetwork(net, params, ctx.Encoder, 0)
+	cn.Warm(params.MaxLevel())
+	baseline := cn.EncodeCalls()
+
+	const requests = 8
+	// Encrypt each request's input serially — the encryptor PRNG is
+	// stateful — then evaluate concurrently. All requests carry the same
+	// ciphertexts' *values* only in the first slot batch, so digests are
+	// compared per-request against a serial reference.
+	inputs := make([][]*CT, requests)
+	want := make([]string, requests)
+	for i := range inputs {
+		inputs[i] = encryptInput(net, ctx, img)
+		ref := net.EvaluateEncrypted(NewCryptoBackend(ctx, nil), inputs[i])
+		want[i] = ref.Ciphertext().Digest()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := net.EvaluateEncrypted(cn.Backend(ctx, nil), inputs[i])
+			if d := out.Ciphertext().Digest(); d != want[i] {
+				errs <- d + " != " + want[i]
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatalf("concurrent cached evaluation diverged: %s", msg)
+	}
+	if got := cn.EncodeCalls(); got != baseline {
+		t.Fatalf("concurrent steady-state traffic encoded: %d → %d", baseline, got)
+	}
+}
+
+// TestCompiledByteBudgetEviction: a budget too small for the operand set
+// still yields correct results — entries evict and re-encode — proving
+// the budget bounds memory, not correctness.
+func TestCompiledByteBudgetEviction(t *testing.T) {
+	params, net, ctx, img := compiledFixture(t, false)
+	// One top-level plaintext is PlaintextBytes(7) bytes; budget two of
+	// them so the working set cannot stay resident.
+	cn := NewCompiledNetwork(net, params, ctx.Encoder, int64(2*params.PlaintextBytes(params.MaxLevel())))
+	cn.Warm(params.MaxLevel())
+	out := net.EvaluateEncrypted(cn.Backend(ctx, nil), encryptInput(net, ctx, img))
+	if out.Ciphertext() == nil {
+		t.Fatal("no output ciphertext")
+	}
+	st := cn.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("tiny budget evicted nothing: %+v", st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("byte budget violated: %+v", st)
+	}
+}

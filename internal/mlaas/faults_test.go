@@ -253,7 +253,7 @@ func TestFaultSaturationBusyThenRetry(t *testing.T) {
 				released = true
 				close(release)
 			}
-			for len(fx.server.sem) > 0 { // deterministic stand-in for the backoff clock
+			for len(fx.server.adm.slots) > 0 { // deterministic stand-in for the backoff clock
 				time.Sleep(time.Millisecond)
 			}
 			return nil

@@ -13,8 +13,10 @@
 //	          uint32-length error string (any other status)
 //
 // The serving layer is production-shaped: per-connection I/O deadlines and
-// a total request budget, a concurrency-limiting semaphore that fails fast
-// with StatusBusy, per-request panic isolation (a malformed ciphertext
+// a total request budget, admission scheduling (MaxConcurrent evaluation
+// slots fronted by an optional bounded FIFO queue — Config.QueueDepth —
+// where requests wait out bursts up to their budget before StatusBusy;
+// the default remains fail-fast), per-request panic isolation (a malformed ciphertext
 // that blows up deep in the evaluator kills one request, not the
 // process), typed wire statuses, and Shutdown(ctx) that drains in-flight
 // inferences while refusing new ones with StatusShuttingDown. The client
@@ -67,6 +69,20 @@ type Config struct {
 	// MaxConcurrent caps simultaneous evaluations; requests beyond it are
 	// refused immediately with StatusBusy. Default 4.
 	MaxConcurrent int
+	// QueueDepth bounds the admission queue in front of the evaluation
+	// slots. 0 (the default) keeps the fail-fast behaviour: any request
+	// beyond MaxConcurrent is refused immediately with StatusBusy. With a
+	// queue, up to QueueDepth requests wait for a slot — in arrival order,
+	// up to their RequestBudget — before being refused; the wait is
+	// reported in the queue phase histogram, MetricQueueWait, and counted
+	// against the request's budget.
+	QueueDepth int
+	// CacheBytes bounds the server's encoded-plaintext cache (the
+	// hecnn.CompiledNetwork behind steady-state zero-encode inference).
+	// 0 (the default) selects hecnn.DefaultPlaintextCacheBytes; a negative
+	// value disables the cache entirely and every request re-encodes its
+	// weight plaintexts, as before PR4.
+	CacheBytes int64
 	// IOTimeout is the rolling per-read/per-write deadline on a
 	// connection. Default 30s.
 	IOTimeout time.Duration
@@ -132,8 +148,12 @@ type Server struct {
 	net    *hecnn.Network
 	ctx    *hecnn.Context
 	cfg    Config
-	sem    chan struct{}
+	adm    *admitter
 	pool   *parallel.Pool
+	// compiled is the warmed serve-path cache of encoded weight
+	// plaintexts; nil when Config.CacheBytes < 0, in which case every
+	// request re-encodes through a plain crypto backend.
+	compiled *hecnn.CompiledNetwork
 
 	// met is nil when Config.Metrics is nil; reqSeq tags every exchange
 	// with a monotonically increasing id that appears in failure messages
@@ -175,7 +195,7 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 	pool := parallel.New(cfg.Workers)
 	params.AttachPool(pool)
 	pool.SetMetrics(cfg.Metrics)
-	return &Server{
+	s := &Server{
 		pool:   pool,
 		params: params,
 		net:    henet,
@@ -185,13 +205,33 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 			Eval:    ckks.NewEvaluator(params, rlk, rtk),
 		},
 		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		adm:       newAdmitter(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Metrics),
 		met:       newServerMetrics(cfg.Metrics, henet),
 		slowLog:   cfg.SlowRequestLog,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drained:   make(chan struct{}),
 	}
+	if cfg.CacheBytes >= 0 {
+		// Pre-encode every weight/bias plaintext at the exact levels and
+		// scales the compiled plan consumes, so steady-state requests
+		// perform zero Encoder.Encode calls (responses are bit-identical
+		// either way — see hecnn.TestCompiledZeroEncodeSteadyState).
+		s.compiled = hecnn.NewCompiledNetwork(henet, params, s.ctx.Encoder, cfg.CacheBytes)
+		s.compiled.SetMetrics(cfg.Metrics)
+		s.compiled.Warm(params.MaxLevel())
+	}
+	return s
+}
+
+// backend returns the evaluation backend for one request: the cached
+// compiled-network backend when the plaintext cache is enabled, otherwise
+// a plain crypto backend. rec may be nil for untraced requests.
+func (s *Server) backend(rec *hecnn.Recorder) hecnn.Backend {
+	if s.compiled != nil {
+		return s.compiled.Backend(s.ctx, rec)
+	}
+	return hecnn.NewCryptoBackend(s.ctx, rec)
 }
 
 // observes reports whether requests need a trace (metrics or slow log).
@@ -366,21 +406,27 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 		s.mu.Unlock()
 	}()
 
-	admitted := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-		rt.timePhase(phaseQueue, time.Since(admitted))
-		defer func() { <-s.sem }()
-	default:
+	// The request budget starts at arrival: time spent waiting in the
+	// admission queue is the client's time too.
+	deadline := time.Now().Add(s.cfg.RequestBudget)
+	wait, decision := s.adm.acquire(deadline)
+	if decision != admitOK {
 		s.mu.Lock()
 		s.stats.Rejected++
 		s.mu.Unlock()
 		s.outcome(rt, StatusBusy)
-		s.writeFailure(trw, StatusBusy, fmt.Sprintf("req %d: server at capacity (%d concurrent)", reqID, s.cfg.MaxConcurrent))
+		msg := fmt.Sprintf("req %d: server at capacity (%d concurrent, %d queued)",
+			reqID, s.cfg.MaxConcurrent, s.adm.queued())
+		if decision == admitDeadline {
+			msg = fmt.Sprintf("req %d: request budget exhausted after %v in the admission queue", reqID, wait.Round(time.Millisecond))
+		}
+		s.writeFailure(trw, StatusBusy, msg)
 		return true
 	}
+	rt.timePhase(phaseQueue, wait)
+	defer s.adm.release()
 
-	trw.abs = time.Now().Add(s.cfg.RequestBudget)
+	trw.abs = deadline
 	err := s.serveRequest(trw, rt)
 	if err == nil {
 		s.outcome(rt, StatusOK)
@@ -470,13 +516,13 @@ func (s *Server) serveRequest(rw io.ReadWriter, rt *reqTrace) (err error) {
 		if s.met != nil {
 			tr.Sink = s.met.observeLayer
 		}
-		out = s.net.EvaluateTraced(hecnn.NewCryptoBackend(s.ctx, rec), cts, tr)
+		out = s.net.EvaluateTraced(s.backend(rec), cts, tr)
 		rt.layers = tr.Stats
 		now := time.Now()
 		rt.timePhase(phaseEvaluate, now.Sub(phaseStart))
 		phaseStart = now
 	} else {
-		out = s.net.EvaluateEncrypted(hecnn.NewCryptoBackend(s.ctx, nil), cts)
+		out = s.net.EvaluateEncrypted(s.backend(nil), cts)
 	}
 
 	if _, err := rw.Write([]byte{byte(StatusOK)}); err != nil {
@@ -501,7 +547,7 @@ func (s *Server) writeFailure(w io.Writer, status Status, msg string) {
 	var hdr [5]byte
 	hdr[0] = byte(status)
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(msg)))
-	w.Write(hdr[:])       //nolint:errcheck
+	w.Write(hdr[:])        //nolint:errcheck
 	io.WriteString(w, msg) //nolint:errcheck
 }
 

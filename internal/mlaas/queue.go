@@ -1,0 +1,101 @@
+package mlaas
+
+// Admission scheduling: the bounded, deadline-aware queue in front of the
+// evaluation slots. PR1's fail-fast semaphore refused every request beyond
+// MaxConcurrent immediately; under bursty traffic that turns transient
+// saturation into client-visible StatusBusy storms even when a slot frees
+// microseconds later. The admitter keeps the fail-fast behaviour as the
+// QueueDepth=0 default but, when a queue is configured, lets up to
+// QueueDepth requests wait for a slot until their request budget expires —
+// converting short bursts into queue latency instead of refusals.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fxhenn/internal/telemetry"
+)
+
+// admitDecision is the outcome of one admission attempt.
+type admitDecision int
+
+const (
+	// admitOK: a slot was acquired; the caller must release() it.
+	admitOK admitDecision = iota
+	// admitQueueFull: every slot is busy and the waiting line is at
+	// QueueDepth (or queueing is disabled) — refuse fail-fast.
+	admitQueueFull
+	// admitDeadline: the request waited in the queue until its budget
+	// expired without a slot freeing up.
+	admitDeadline
+)
+
+// admitter gates request admission with MaxConcurrent evaluation slots
+// and an optional bounded waiting line. Blocked acquirers park on the
+// slots channel, which the runtime serves in arrival order, giving the
+// queue FIFO admission. It is nil-metrics-safe: with no registry the
+// gauge/histogram handles are nil no-ops.
+type admitter struct {
+	slots chan struct{}
+	depth int // max waiters; 0 = fail-fast only
+	// waiting bounds the line: an acquirer that would be waiter depth+1
+	// is refused before parking.
+	waiting atomic.Int64
+
+	mDepth *telemetry.Gauge     // mlaas_queue_depth
+	mWait  *telemetry.Histogram // mlaas_queue_wait_seconds
+}
+
+func newAdmitter(maxConcurrent, queueDepth int, reg *telemetry.Registry) *admitter {
+	return &admitter{
+		slots:  make(chan struct{}, maxConcurrent),
+		depth:  queueDepth,
+		mDepth: reg.Gauge(MetricQueueDepth, "requests waiting for an evaluation slot"),
+		mWait: reg.Histogram(MetricQueueWait,
+			"time from arrival to evaluation-slot acquisition for admitted requests", nil),
+	}
+}
+
+// acquire tries to claim an evaluation slot, waiting in the bounded queue
+// until deadline if every slot is busy. It reports the time spent and the
+// decision; on admitOK the caller owns a slot and must release() it.
+func (a *admitter) acquire(deadline time.Time) (time.Duration, admitDecision) {
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		wait := time.Since(start)
+		a.mWait.Observe(wait.Seconds())
+		return wait, admitOK
+	default:
+	}
+	if a.depth <= 0 {
+		return time.Since(start), admitQueueFull
+	}
+	if a.waiting.Add(1) > int64(a.depth) {
+		a.waiting.Add(-1)
+		return time.Since(start), admitQueueFull
+	}
+	a.mDepth.Add(1)
+	defer func() {
+		a.mDepth.Add(-1)
+		a.waiting.Add(-1)
+	}()
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		wait := time.Since(start)
+		a.mWait.Observe(wait.Seconds())
+		return wait, admitOK
+	case <-timer.C:
+		return time.Since(start), admitDeadline
+	}
+}
+
+// release frees the slot claimed by a successful acquire, waking the
+// longest-waiting queued request if any.
+func (a *admitter) release() { <-a.slots }
+
+// queued returns the number of requests currently waiting for a slot.
+func (a *admitter) queued() int { return int(a.waiting.Load()) }

@@ -1,0 +1,253 @@
+package mlaas
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"fxhenn/internal/telemetry"
+)
+
+// TestAdmitterFailFastWithoutQueue pins the QueueDepth=0 default: with
+// every slot busy, acquire refuses immediately instead of waiting.
+func TestAdmitterFailFastWithoutQueue(t *testing.T) {
+	a := newAdmitter(1, 0, nil)
+	if _, d := a.acquire(time.Now().Add(time.Minute)); d != admitOK {
+		t.Fatalf("first acquire = %v, want admitOK", d)
+	}
+	start := time.Now()
+	if _, d := a.acquire(time.Now().Add(time.Minute)); d != admitQueueFull {
+		t.Fatalf("saturated acquire = %v, want admitQueueFull", d)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("fail-fast acquire blocked for %v", waited)
+	}
+	a.release()
+}
+
+// TestAdmitterQueueWaitsForSlot: with a queue, a request arriving while
+// every slot is busy parks until release and is then admitted.
+func TestAdmitterQueueWaitsForSlot(t *testing.T) {
+	a := newAdmitter(1, 2, nil)
+	if _, d := a.acquire(time.Now().Add(time.Minute)); d != admitOK {
+		t.Fatal("could not take the only slot")
+	}
+	got := make(chan admitDecision, 1)
+	go func() {
+		_, d := a.acquire(time.Now().Add(time.Minute))
+		got <- d
+	}()
+	// Wait until the second request is parked in the queue, then free the
+	// slot it is waiting for.
+	for a.queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	select {
+	case d := <-got:
+		if d != admitOK {
+			t.Fatalf("queued acquire = %v, want admitOK", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+	a.release()
+	if q := a.queued(); q != 0 {
+		t.Fatalf("queue not drained: %d waiting", q)
+	}
+}
+
+// TestAdmitterQueueBound: waiter depth+1 is refused fail-fast while the
+// line is full.
+func TestAdmitterQueueBound(t *testing.T) {
+	a := newAdmitter(1, 1, nil)
+	a.acquire(time.Now().Add(time.Minute)) // take the slot
+	parked := make(chan admitDecision, 1)
+	go func() {
+		_, d := a.acquire(time.Now().Add(time.Minute))
+		parked <- d
+	}()
+	for a.queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, d := a.acquire(time.Now().Add(time.Minute)); d != admitQueueFull {
+		t.Fatalf("over-depth acquire = %v, want admitQueueFull", d)
+	}
+	a.release()
+	if d := <-parked; d != admitOK {
+		t.Fatalf("parked acquire = %v, want admitOK", d)
+	}
+	a.release()
+}
+
+// TestAdmitterDeadlineExpires: a queued request whose budget runs out
+// before a slot frees is refused with admitDeadline.
+func TestAdmitterDeadlineExpires(t *testing.T) {
+	a := newAdmitter(1, 4, nil)
+	a.acquire(time.Now().Add(time.Minute))
+	wait, d := a.acquire(time.Now().Add(30 * time.Millisecond))
+	if d != admitDeadline {
+		t.Fatalf("expired acquire = %v, want admitDeadline", d)
+	}
+	if wait < 30*time.Millisecond {
+		t.Fatalf("gave up after %v, before the deadline", wait)
+	}
+	if q := a.queued(); q != 0 {
+		t.Fatalf("expired waiter still counted: %d", q)
+	}
+	a.release()
+}
+
+// TestQueueAdmitsBurstBeyondMaxConcurrent is the end-to-end throughput
+// contract: with MaxConcurrent=1 and a queue, a second concurrent request
+// that the old fail-fast gate would have refused with StatusBusy now
+// waits for the slot and completes.
+func TestQueueAdmitsBurstBeyondMaxConcurrent(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 500)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(50))
+		firstDone <- err
+	}()
+	<-entered
+
+	// Second request arrives while the slot is held; it must queue, not
+	// bounce. Release the first request once the second is parked.
+	secondDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 501)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(51))
+		secondDone <- err
+	}()
+	for fx.server.adm.queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for i, ch := range []chan error{firstDone, secondDone} {
+		if err := <-ch; err != nil {
+			t.Fatalf("request %d failed: %v", i+1, err)
+		}
+	}
+	if st := fx.server.Stats(); st.Served != 2 || st.Rejected != 0 {
+		t.Fatalf("stats %+v, want 2 served / 0 rejected", st)
+	}
+}
+
+// TestQueueDeadlineBusyOnWire: a queued request that exhausts its budget
+// waiting is refused with StatusBusy and a message naming the queue.
+func TestQueueDeadlineBusyOnWire(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 1, QueueDepth: 4, RequestBudget: 150 * time.Millisecond})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 502)
+		conn := fx.dial(t)
+		defer conn.Close()
+		cl.Infer(context.Background(), conn, randomImage(52)) //nolint:errcheck
+	}()
+	<-entered
+	defer close(release)
+
+	cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 503)
+	conn := fx.dial(t)
+	defer conn.Close()
+	_, err := cl.Infer(context.Background(), conn, randomImage(53))
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != StatusBusy {
+		t.Fatalf("queued-past-budget request returned %v, want StatusBusy", err)
+	}
+	if !strings.Contains(se.Msg, "admission queue") {
+		t.Fatalf("busy message %q does not name the admission queue", se.Msg)
+	}
+	if st := fx.server.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v, want 1 rejected", st)
+	}
+}
+
+// TestQueueMetricsExposition pins the queue telemetry end to end: the
+// depth gauge rises while a request is parked, the wait histogram records
+// admitted requests, and both families appear under their documented
+// names in the Prometheus text exposition.
+func TestQueueMetricsExposition(t *testing.T) {
+	fx := newMetricsFixture(t, Config{MaxConcurrent: 1, QueueDepth: 2})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 504)
+		conn := fx.dial(t)
+		defer conn.Close()
+		cl.Infer(context.Background(), conn, randomImage(54)) //nolint:errcheck
+	}()
+	<-entered
+
+	secondDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 505)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(55))
+		secondDone <- err
+	}()
+	for fx.server.adm.queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Depth gauge while one request is parked.
+	snap := fx.reg.Snapshot()
+	if v := counterValue(t, snap, MetricQueueDepth); v != 1 {
+		t.Fatalf("%s = %d with one parked request, want 1", MetricQueueDepth, v)
+	}
+
+	close(release)
+	if err := <-secondDone; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+
+	snap = fx.reg.Snapshot()
+	if v := counterValue(t, snap, MetricQueueDepth); v != 0 {
+		t.Fatalf("%s = %d after drain, want 0", MetricQueueDepth, v)
+	}
+	waits := snap.Family(MetricQueueWait)
+	if waits == nil {
+		t.Fatalf("%s family missing", MetricQueueWait)
+	}
+	if m := waits.Metric(); m == nil || m.Count != 2 {
+		t.Fatalf("%s observed %v admissions, want 2", MetricQueueWait, m)
+	}
+
+	var sb strings.Builder
+	if err := telemetry.WriteText(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		MetricQueueDepth + " 0",
+		MetricQueueWait + "_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

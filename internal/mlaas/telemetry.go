@@ -27,6 +27,8 @@ const (
 	MetricPhaseSeconds   = "mlaas_phase_seconds"   // histogram{phase}
 	MetricRequestSeconds = "mlaas_request_seconds" // histogram
 	MetricInflight       = "mlaas_inflight"        // gauge
+	MetricQueueDepth     = "mlaas_queue_depth"     // gauge: waiters in the admission queue
+	MetricQueueWait      = "mlaas_queue_wait_seconds"
 	MetricSlowRequests   = "mlaas_slow_requests_total"
 	MetricLayerSeconds   = "hecnn_layer_seconds"    // histogram{net,layer}
 	MetricLayerHOPs      = "hecnn_layer_hops_total" // counter{net,layer}

@@ -20,10 +20,10 @@ func TestHistogramZeroObservations(t *testing.T) {
 
 func TestHistogramOverflowBucket(t *testing.T) {
 	h := NewRegistry().Histogram("h", "", []float64{1, 10})
-	h.Observe(0.5)  // bucket 0
-	h.Observe(10)   // bucket 1 (le is inclusive)
-	h.Observe(1e6)  // overflow
-	h.Observe(5e6)  // overflow
+	h.Observe(0.5) // bucket 0
+	h.Observe(10)  // bucket 1 (le is inclusive)
+	h.Observe(1e6) // overflow
+	h.Observe(5e6) // overflow
 	if h.Count() != 4 {
 		t.Fatalf("count = %d, want 4", h.Count())
 	}
