@@ -1,9 +1,10 @@
 GO ?= go
 
 # COVERAGE_FLOOR is the committed minimum total statement coverage over
-# ./internal/... (the tree sat at ~90% when the floor was set); `make
-# cover` and the CI coverage job fail below it.
-COVERAGE_FLOOR ?= 87.0
+# ./internal/... (the tree sat at ~89.4% when the floor was last raised,
+# after the batched-serving suites landed); `make cover` and the CI
+# coverage job fail below it.
+COVERAGE_FLOOR ?= 88.0
 
 .PHONY: build test verify race bench cover clean
 

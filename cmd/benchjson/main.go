@@ -34,6 +34,11 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// NsPerImage is the per-image cost reported by batched-inference
+	// benchmarks (ReportMetric "ns/image"): ns_per_op divided by the batch
+	// occupancy, the number throughput comparisons against the per-request
+	// rows should use.
+	NsPerImage float64 `json:"ns_per_image,omitempty"`
 }
 
 // Report is the JSON document written to -out.
@@ -150,6 +155,8 @@ func parseLine(line string) (Benchmark, bool) {
 		case "ns/op":
 			b.NsPerOp = v
 			seenNs = true
+		case "ns/image":
+			b.NsPerImage = v
 		case "B/op":
 			b.BytesPerOp = int64(v)
 		case "allocs/op":

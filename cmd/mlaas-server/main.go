@@ -21,6 +21,13 @@
 // client inferences and then drains; without -demo the server runs until
 // a signal arrives.
 //
+// Batched serving: -batch-size N coalesces up to N concurrent requests
+// into one position-major CryptoNets-style evaluation on a small derived
+// ring (one ciphertext per tensor position, slot b = request b), with
+// -batch-window bounding how long the oldest request waits for
+// co-travellers; a lone request flushes as a batch of one. With -demo the
+// demo inferences run concurrently so the scheduler actually batches.
+//
 // Telemetry: -metrics-addr serves the metrics registry (Prometheus text
 // at /metrics, JSON at /metrics.json) plus net/http/pprof under
 // /debug/pprof/; -slow-threshold enables the structured slow-request log
@@ -32,6 +39,7 @@
 //	mlaas-server -addr 127.0.0.1:7100 -max-concurrent 4
 //	mlaas-server -demo 3 -io-timeout 5s
 //	mlaas-server -workers 8 -hoist -demo 3
+//	mlaas-server -batch-size 8 -batch-window 50ms -demo 8
 //	mlaas-server -metrics-addr 127.0.0.1:7190 -slow-threshold 5s -digest-interval 30s
 package main
 
@@ -44,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -67,6 +76,8 @@ func main() {
 	requestBudget := flag.Duration("request-budget", 2*time.Minute, "total wall-clock budget per request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	demo := flag.Int("demo", 0, "serve N in-process demo inferences, then drain and exit")
+	batchSize := flag.Int("batch-size", 0, "enable cross-request batched serving: coalesce up to this many concurrent requests into one position-major evaluation (0 disables)")
+	batchWindow := flag.Duration("batch-window", 20*time.Millisecond, "how long the oldest batched request waits for co-travellers before the batch flushes anyway")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty disables)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "log requests slower than this with their per-layer breakdown (0 disables)")
 	digestInterval := flag.Duration("digest-interval", 0, "print a one-line telemetry digest at this interval (0 disables)")
@@ -101,6 +112,42 @@ func main() {
 	rlk := kg.GenRelinearizationKey(sk)
 	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
 
+	// Batched serving: the batch path runs on its own ring — the smallest
+	// one whose slots cover the batch size — with its own key ceremony.
+	// The batch secret key stays with the client role too.
+	var (
+		batchCfg *mlaas.BatchConfig
+		bparams  ckks.Parameters
+		bnet     *hecnn.BatchedNetwork
+		bpk      *ckks.PublicKey
+		bsk      *ckks.SecretKey
+	)
+	if *batchSize > 0 {
+		var err error
+		bparams, err = hecnn.BatchedParams(params, *batchSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batch params: %v\n", err)
+			os.Exit(2)
+		}
+		bnet, err = hecnn.CompileBatched(pnet, bparams.Slots())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batch compile: %v\n", err)
+			os.Exit(2)
+		}
+		bkg := ckks.NewKeyGenerator(bparams, *seed+1)
+		bsk = bkg.GenSecretKey()
+		bpk = bkg.GenPublicKey(bsk)
+		batchCfg = &mlaas.BatchConfig{
+			Params:     bparams,
+			Net:        bnet,
+			Rlk:        bkg.GenRelinearizationKey(bsk),
+			Rtk:        bkg.GenRotationKeys(bsk, hecnn.BatchRotations(*batchSize), false),
+			Size:       *batchSize,
+			Window:     *batchWindow,
+			CacheBytes: *cacheBytes,
+		}
+	}
+
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
@@ -114,6 +161,7 @@ func main() {
 		Workers:              *workers,
 		Metrics:              reg,
 		SlowRequestThreshold: *slowThreshold,
+		Batch:                batchCfg,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -123,6 +171,10 @@ func main() {
 	}
 	fmt.Printf("mlaas-server: %s on %s (slots=%d workers=%d io-timeout=%v budget=%v)\n",
 		pnet.Name, l.Addr(), *maxConcurrent, server.PoolStats().Workers, *ioTimeout, *requestBudget)
+	if batchCfg != nil {
+		fmt.Printf("mlaas-server: batched serving on logN=%d ring (batch-size=%d batch-window=%v)\n",
+			bparams.LogN, *batchSize, *batchWindow)
+	}
 
 	if reg != nil {
 		ml, err := net.Listen("tcp", *metricsAddr)
@@ -146,7 +198,11 @@ func main() {
 	go func() { serveErr <- server.Serve(l) }()
 
 	if *demo > 0 {
-		runDemo(params, pnet, henet, pk, sk, l.Addr().String(), *demo)
+		if batchCfg != nil {
+			runBatchedDemo(bparams, pnet, bnet, bpk, bsk, l.Addr().String(), *demo)
+		} else {
+			runDemo(params, pnet, henet, pk, sk, l.Addr().String(), *demo)
+		}
 	} else {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -202,4 +258,50 @@ func runDemo(params ckks.Parameters, pnet *cnn.Network, henet *hecnn.Network,
 	}
 	fmt.Printf("demo traffic: %d bytes sent, %d received, %d retries\n",
 		client.BytesSent, client.BytesReceived, client.Retries)
+}
+
+// runBatchedDemo fires n concurrent batched inferences so the server's
+// scheduler actually coalesces them into shared evaluations, then checks
+// each client got its own image's class back.
+func runBatchedDemo(bparams ckks.Parameters, pnet *cnn.Network, bnet *hecnn.BatchedNetwork,
+	bpk *ckks.PublicKey, bsk *ckks.SecretKey, addr string, n int) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	failed := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for j := range img.Data {
+				img.Data[j] = rng.Float64()
+			}
+			want := cnn.Argmax(pnet.Infer(img))
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				failed[i] = err
+				return
+			}
+			defer conn.Close()
+			client := mlaas.NewBatchClient(bparams, bnet, bpk, bsk, int64(200+i))
+			got, err := client.Infer(ctx, conn, img)
+			if err != nil {
+				failed[i] = err
+				return
+			}
+			fmt.Printf("batched demo inference %d: class %d (plaintext %d)\n", i, cnn.Argmax(got), want)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range failed {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batched demo inference %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("batched demo: %d concurrent inferences in %v\n", n, time.Since(start).Round(time.Millisecond))
 }

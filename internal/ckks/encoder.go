@@ -92,6 +92,56 @@ func (e *Encoder) Encode(values []float64, level int, scale float64) *Plaintext 
 	return e.EncodeComplex(cv, level, scale)
 }
 
+// EncodeConst encodes the real constant c broadcast across every slot.
+// A constant vector's canonical embedding is the constant polynomial
+// round(c·Δ), whose NTT image is that value at every evaluation point, so
+// the whole encode is one rounding plus a per-limb fill — no FFT and no
+// NTT. This is the fast path behind CryptoNets-style batched evaluation,
+// where every weight and bias is a broadcast scalar (hecnn.Plain.Const).
+// It is also at least as accurate as Encode of the broadcast vector: the
+// FFT round trip can only add rounding noise to the exact constant image.
+func (e *Encoder) EncodeConst(c float64, level int, scale float64) *Plaintext {
+	if level < 1 || level > e.params.L {
+		panic(fmt.Sprintf("ckks: encode level %d out of range [1,%d]", level, e.params.L))
+	}
+	r := e.params.Ring()
+	pt := r.NewPoly(level)
+	rounded := math.Round(c * scale)
+	if math.Abs(rounded) < math.MaxInt64/2 {
+		iv := int64(rounded)
+		for i := 0; i < level; i++ {
+			q := r.Moduli[i]
+			var v uint64
+			if iv >= 0 {
+				v = uint64(iv) % q
+			} else {
+				v = (q - uint64(-iv)%q) % q
+			}
+			row := pt.Coeffs[i]
+			for j := range row {
+				row[j] = v
+			}
+		}
+		return &Plaintext{Value: pt, Scale: scale, IsNTT: true}
+	}
+	// Magnitudes beyond a word: reduce via big.Int per limb, as setRounded.
+	bi := new(big.Int)
+	new(big.Float).SetFloat64(rounded).Int(bi)
+	for i := 0; i < level; i++ {
+		q := new(big.Int).SetUint64(r.Moduli[i])
+		rem := new(big.Int).Mod(bi, q)
+		if rem.Sign() < 0 {
+			rem.Add(rem, q)
+		}
+		v := rem.Uint64()
+		row := pt.Coeffs[i]
+		for j := range row {
+			row[j] = v
+		}
+	}
+	return &Plaintext{Value: pt, Scale: scale, IsNTT: true}
+}
+
 // setRounded writes round(v) into coefficient j, handling magnitudes beyond
 // 64 bits via big.Int (large scales × large values can exceed a word).
 func setRounded(r *ring.Ring, pt *ring.Poly, j int, v float64, tmp *big.Int) {

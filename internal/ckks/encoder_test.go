@@ -52,6 +52,63 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeConstMatchesBroadcastEncode(t *testing.T) {
+	params := paramsTest()
+	enc := NewEncoder(params)
+	broadcast := func(c float64) []float64 {
+		v := make([]float64, params.Slots())
+		for i := range v {
+			v[i] = c
+		}
+		return v
+	}
+	for _, c := range []float64{0, 1, -1, 0.37, -2.25, 117.5} {
+		for _, level := range []int{2, params.L} {
+			fast := enc.EncodeConst(c, level, params.Scale)
+			if fast.Level() != level || !fast.IsNTT {
+				t.Fatalf("EncodeConst(%g) level=%d IsNTT=%v", c, fast.Level(), fast.IsNTT)
+			}
+			got := enc.Decode(fast)
+			if d := maxAbsDiff(broadcast(c), got); d > 1e-5 {
+				t.Fatalf("EncodeConst(%g) level %d: decode error %g", c, level, d)
+			}
+			// The fast path must agree with the FFT path slot-for-slot to
+			// encoding precision — batched evaluation mixes the two.
+			slow := enc.Decode(enc.Encode(broadcast(c), level, params.Scale))
+			if d := maxAbsDiff(slow, got); d > 1e-5 {
+				t.Fatalf("EncodeConst(%g) level %d: diverges from Encode by %g", c, level, d)
+			}
+		}
+	}
+	// Arbitrary (non-default) scales, as PCadd uses: the running ciphertext
+	// scale is a product of rescale corrections, not a power of two.
+	fast := enc.EncodeConst(0.81, 3, params.Scale*1.0375)
+	got := enc.Decode(fast)
+	if d := maxAbsDiff(broadcast(0.81), got); d > 1e-5 {
+		t.Fatalf("EncodeConst at odd scale: decode error %g", d)
+	}
+	// Magnitudes beyond a word take the big.Int path.
+	huge := enc.EncodeConst(math.Exp2(40), params.L, params.Scale)
+	gotHuge := enc.Decode(huge)
+	if d := math.Abs(gotHuge[0]-math.Exp2(40)) / math.Exp2(40); d > 1e-9 {
+		t.Fatalf("EncodeConst big path: relative error %g", d)
+	}
+}
+
+func TestEncodeConstValidation(t *testing.T) {
+	enc := NewEncoder(paramsTest())
+	for _, level := range []int{0, -1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeConst level %d did not panic", level)
+				}
+			}()
+			enc.EncodeConst(1, level, enc.params.Scale)
+		}()
+	}
+}
+
 func TestEncodeDecodeComplex(t *testing.T) {
 	params := paramsTest()
 	enc := NewEncoder(params)

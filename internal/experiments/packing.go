@@ -21,7 +21,10 @@ func (e *Env) PackingComparison(w io.Writer) {
 	slots := 4096
 
 	lola := e.OursMNIST
-	bnet := hecnn.CompileBatched(cnn.NewMNISTNet(), slots)
+	bnet, err := hecnn.CompileBatched(cnn.NewMNISTNet(), slots)
+	if err != nil {
+		panic(err)
+	}
 	batched := profile.FromRecorder("MNIST-batched", bnet.Count(7), 13, 7, 30, 128)
 
 	t := &report.Table{

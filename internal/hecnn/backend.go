@@ -43,8 +43,17 @@ func (c *CT) Level() int { return c.level }
 // Plain is a lazily-built plaintext operand: Make produces the slot vector.
 // The counting backend never calls Make, so dry runs over networks with tens
 // of thousands of plaintext operands (FxHENN-CIFAR10) stay cheap.
+//
+// IsConst marks an operand whose slot vector is one scalar broadcast to
+// every slot — the shape of every weight and bias in CryptoNets-style
+// batched packing. Crypto backends encode such operands through
+// ckks.Encoder.EncodeConst (one rounding and a per-limb fill, no FFT)
+// instead of Make + Encode; Make stays valid for backends that need the
+// full vector.
 type Plain struct {
-	Make func() []float64
+	Make    func() []float64
+	IsConst bool
+	Const   float64
 }
 
 // Backend executes or records HE operations.
@@ -255,17 +264,26 @@ func NewCryptoBackend(ctx *Context, rec *Recorder) Backend {
 func (b *cryptoBackend) SetLayer(name string) { b.rec.SetLayer(name) }
 
 func (b *cryptoBackend) PCmult(x *CT, w Plain) *CT {
-	pt := b.ctx.Encoder.Encode(w.Make(), x.ct.Level(), b.ctx.Params.Scale)
+	pt := b.encodeOperand(w, x.ct.Level(), b.ctx.Params.Scale)
 	out := b.ctx.Eval.MulPlainNew(x.ct, pt)
 	b.rec.record(ckks.OpPCmult, x.ct.Level())
 	return wrap(out)
 }
 
 func (b *cryptoBackend) PCadd(x *CT, w Plain) *CT {
-	pt := b.ctx.Encoder.Encode(w.Make(), x.ct.Level(), x.ct.Scale)
+	pt := b.encodeOperand(w, x.ct.Level(), x.ct.Scale)
 	out := b.ctx.Eval.AddPlainNew(x.ct, pt)
 	b.rec.record(ckks.OpPCadd, x.ct.Level())
 	return wrap(out)
+}
+
+// encodeOperand encodes a plaintext operand, taking the constant fast
+// path for broadcast scalars (batched packing's weight shape).
+func (b *cryptoBackend) encodeOperand(w Plain, level int, scale float64) *ckks.Plaintext {
+	if w.IsConst {
+		return b.ctx.Encoder.EncodeConst(w.Const, level, scale)
+	}
+	return b.ctx.Encoder.Encode(w.Make(), level, scale)
 }
 
 func (b *cryptoBackend) CCadd(x, y *CT) *CT {

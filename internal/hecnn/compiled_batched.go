@@ -1,0 +1,255 @@
+package hecnn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"fxhenn/internal/cache"
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/telemetry"
+)
+
+// cbKey identifies one broadcast-constant plaintext of a batched plan.
+// Unlike the LoLa cache's positional (layer, seq) key, batched operands
+// are keyed by VALUE: every weight and bias is one scalar broadcast
+// across the slots, so two operands with the same (value, level, scale)
+// encode to the identical plaintext regardless of where the plan consumes
+// them. Value keying dedupes massively — a conv layer reuses each of its
+// kernel weights at every output position, so FxHENN-MNIST's ~107K
+// operand consumptions collapse to a few thousand distinct entries. gen
+// isolates invalidation generations exactly as ptKey does.
+type cbKey struct {
+	gen   uint64
+	value float64
+	level int
+	scale float64
+}
+
+// CompiledBatched is the serve-path handle for a batched network: the
+// BatchedNetwork plus a byte-bounded singleflight cache of broadcast
+// plaintexts pre-encoded at the (level, scale) pairs the batched rescale
+// schedule consumes. After Warm, steady-state batched evaluation performs
+// zero encoder calls (pinned by TestCompiledBatchedZeroEncodeSteadyState)
+// — on top of EncodeConst already making each miss FFT-free.
+//
+// A CompiledBatched is safe to share across concurrent flushes: the cache
+// is concurrency-safe, encoding is read-only on the encoder, and cached
+// plaintexts rely on the evaluator's plaintext reuse contract. Each flush
+// still uses its own Backend.
+type CompiledBatched struct {
+	net         *BatchedNetwork
+	params      ckks.Parameters
+	enc         *ckks.Encoder
+	pts         *cache.Cache[cbKey, *ckks.Plaintext]
+	gen         atomic.Uint64
+	encodeCalls atomic.Int64
+	encode      func(c float64, level int, scale float64) *ckks.Plaintext
+}
+
+// NewCompiledBatched builds the cached handle. maxBytes bounds resident
+// plaintexts (0 selects DefaultPlaintextCacheBytes; negative disables the
+// bound). The encoder must belong to params — the batched serve ring, not
+// the LoLa ring.
+func NewCompiledBatched(net *BatchedNetwork, params ckks.Parameters, enc *ckks.Encoder, maxBytes int64) *CompiledBatched {
+	if maxBytes == 0 {
+		maxBytes = DefaultPlaintextCacheBytes
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	cb := &CompiledBatched{net: net, params: params, enc: enc,
+		pts: cache.New[cbKey, *ckks.Plaintext](maxBytes)}
+	cb.encode = func(c float64, level int, scale float64) *ckks.Plaintext {
+		cb.encodeCalls.Add(1)
+		return enc.EncodeConst(c, level, scale)
+	}
+	return cb
+}
+
+// Network returns the wrapped batched network.
+func (cb *CompiledBatched) Network() *BatchedNetwork { return cb.net }
+
+// SetMetrics exposes the cache's hit/miss/eviction/size metrics on reg as
+// cache_*{cache="hecnn_batched_plaintext"}.
+func (cb *CompiledBatched) SetMetrics(reg *telemetry.Registry) {
+	cb.pts.SetMetrics(reg, "hecnn_batched_plaintext")
+}
+
+// CacheStats snapshots the plaintext cache counters.
+func (cb *CompiledBatched) CacheStats() cache.Stats { return cb.pts.Stats() }
+
+// EncodeCalls returns the cumulative EncodeConst calls (cache misses).
+func (cb *CompiledBatched) EncodeCalls() int64 { return cb.encodeCalls.Load() }
+
+// Invalidate drops every cached plaintext and starts a new generation.
+func (cb *CompiledBatched) Invalidate() {
+	cb.gen.Add(1)
+	cb.pts.Purge()
+}
+
+// Warm pre-encodes every broadcast operand at the exact levels and scales
+// the batched plan consumes, by dry-running the plan with the real
+// float64 scale schedule (no ring operations). startLevel is the fresh
+// batched-input level — params.MaxLevel() for the serving path.
+func (cb *CompiledBatched) Warm(startLevel int) {
+	b := &batchedPlanBackend{cb: cb, gen: cb.gen.Load()}
+	cts := make([]*CT, cb.net.InputSize())
+	for i := range cts {
+		cts[i] = &CT{level: startLevel, scale: cb.params.Scale}
+	}
+	cb.net.Evaluate(b, cts)
+}
+
+// Backend returns a per-flush crypto backend serving broadcast operands
+// from the cache. ctx must share the handle's parameters; rec may be nil.
+func (cb *CompiledBatched) Backend(ctx *Context, rec *Recorder) Backend {
+	if rec == nil {
+		rec = NewRecorder()
+	}
+	return &cachedBatchedBackend{
+		cryptoBackend: cryptoBackend{ctx: ctx, rec: rec},
+		cb:            cb,
+		gen:           cb.gen.Load(),
+	}
+}
+
+// EvaluateBatch combines per-request position-major ciphertext vectors
+// (CombineBatch — free at occupancy 1) and evaluates the batched network
+// through the cached backend, returning the logit ciphertexts each member
+// decrypts at its own slot. Evaluation-pipeline panics (missing Galois
+// keys, hostile levels) are recovered into the returned error: members
+// arrive from the network.
+func (cb *CompiledBatched) EvaluateBatch(ctx *Context, members [][]*CT) (outs []*CT, rec *Recorder, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, rec = nil, nil
+			err = fmt.Errorf("hecnn: batched evaluation failed: %v", r)
+		}
+	}()
+	rec = NewRecorder()
+	b := cb.Backend(ctx, rec)
+	combined, err := cb.net.CombineBatch(b, members)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cb.net.Evaluate(b, combined), rec, nil
+}
+
+// RunBatch is BatchedNetwork.RunBatch through the cached backend: the
+// steady-state (zero-encode) counterpart, used by benchmarks and the
+// differential harness.
+func (cb *CompiledBatched) RunBatch(ctx *Context, images []*cnn.Tensor) (logits [][]float64, rec *Recorder, err error) {
+	packed, err := cb.net.PackBatch(images)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			logits, rec = nil, nil
+			err = fmt.Errorf("hecnn: batched evaluation failed: %v", r)
+		}
+	}()
+	rec = NewRecorder()
+	b := cb.Backend(ctx, rec)
+	var cts []*CT
+	for _, v := range packed {
+		cts = append(cts, ctx.EncryptVector(v))
+	}
+	outs := cb.net.Evaluate(b, cts)
+	logits = decodeBatchLogits(ctx, outs, len(images))
+	return logits, rec, nil
+}
+
+// plaintext returns the broadcast plaintext for value at (level, scale),
+// encoding on first use with singleflight fills.
+func (cb *CompiledBatched) plaintext(gen uint64, value float64, level int, scale float64, w Plain) *ckks.Plaintext {
+	if !w.IsConst {
+		// Batched plans only emit broadcast operands; a vector operand
+		// would alias under value keying, so encode it directly.
+		cb.encodeCalls.Add(1)
+		return cb.enc.Encode(w.Make(), level, scale)
+	}
+	key := cbKey{gen: gen, value: value, level: level, scale: scale}
+	pt, err := cb.pts.GetOrCompute(key, func() (*ckks.Plaintext, int64, error) {
+		return cb.encode(value, level, scale), int64(cb.params.PlaintextBytes(level)), nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hecnn: batched plaintext cache fill: %v", err))
+	}
+	return pt
+}
+
+// cachedBatchedBackend is cryptoBackend with the plaintext-consuming ops
+// redirected through the value-keyed cache.
+type cachedBatchedBackend struct {
+	cryptoBackend
+	cb  *CompiledBatched
+	gen uint64
+}
+
+func (b *cachedBatchedBackend) PCmult(x *CT, w Plain) *CT {
+	pt := b.cb.plaintext(b.gen, w.Const, x.ct.Level(), b.ctx.Params.Scale, w)
+	out := b.ctx.Eval.MulPlainNew(x.ct, pt)
+	b.rec.record(ckks.OpPCmult, x.ct.Level())
+	return wrap(out)
+}
+
+func (b *cachedBatchedBackend) PCadd(x *CT, w Plain) *CT {
+	pt := b.cb.plaintext(b.gen, w.Const, x.ct.Level(), x.ct.Scale, w)
+	out := b.ctx.Eval.AddPlainNew(x.ct, pt)
+	b.rec.record(ckks.OpPCadd, x.ct.Level())
+	return wrap(out)
+}
+
+// batchedPlanBackend dry-runs the batched plan with the crypto backend's
+// exact float64 level/scale schedule so Warm fills precisely the keys the
+// cached backend will look up. No ciphertext math happens.
+type batchedPlanBackend struct {
+	cb  *CompiledBatched
+	gen uint64
+}
+
+func (b *batchedPlanBackend) SetLayer(string) {}
+
+func (b *batchedPlanBackend) PCmult(x *CT, w Plain) *CT {
+	b.cb.plaintext(b.gen, w.Const, x.level, b.cb.params.Scale, w)
+	return &CT{level: x.level, scale: x.scale * b.cb.params.Scale}
+}
+
+func (b *batchedPlanBackend) PCadd(x *CT, w Plain) *CT {
+	b.cb.plaintext(b.gen, w.Const, x.level, x.scale, w)
+	return &CT{level: x.level, scale: x.scale}
+}
+
+func (b *batchedPlanBackend) CCadd(x, y *CT) *CT {
+	l := x.level
+	if y.level < l {
+		l = y.level
+	}
+	return &CT{level: l, scale: x.scale}
+}
+
+func (b *batchedPlanBackend) Square(x *CT) *CT {
+	return &CT{level: x.level, scale: x.scale * x.scale}
+}
+
+func (b *batchedPlanBackend) Rescale(x *CT) *CT {
+	qLast := b.cb.params.Moduli[x.level-1]
+	return &CT{level: x.level - 1, scale: x.scale / float64(qLast)}
+}
+
+func (b *batchedPlanBackend) Rotate(x *CT, k int) *CT {
+	if k == 0 {
+		return x
+	}
+	return &CT{level: x.level, scale: x.scale}
+}
+
+func (b *batchedPlanBackend) RotateMany(x *CT, ks []int) []*CT {
+	out := make([]*CT, len(ks))
+	for i, k := range ks {
+		out[i] = b.Rotate(x, k)
+	}
+	return out
+}

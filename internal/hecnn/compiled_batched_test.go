@@ -1,0 +1,155 @@
+package hecnn
+
+import (
+	"math"
+	"testing"
+
+	"fxhenn/internal/cnn"
+)
+
+// TestCompiledBatchedZeroEncodeSteadyState: after Warm, batched evaluation
+// performs zero encoder calls, and value keying dedupes repeated weights
+// far below the operand-consumption count.
+func TestCompiledBatchedZeroEncodeSteadyState(t *testing.T) {
+	params := tinyParams()
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(81)
+	bnet, err := CompileBatched(pnet, params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := NewCompiledBatched(bnet, params, NewContext(params, 82, nil).Encoder, 0)
+
+	cb.Warm(params.MaxLevel())
+	warmEncodes := cb.EncodeCalls()
+	if warmEncodes == 0 {
+		t.Fatal("warm performed no encodes")
+	}
+	consumptions := 0
+	for _, l := range bnet.Count(params.MaxLevel()).Layers {
+		consumptions += l.HOPs()
+	}
+	if warmEncodes >= int64(consumptions) {
+		t.Errorf("value keying did not dedupe: %d encodes for %d op consumptions", warmEncodes, consumptions)
+	}
+
+	ctx := NewContext(params, 82, nil)
+	images := []*cnn.Tensor{randomImage(1, 8, 8, 10), randomImage(1, 8, 8, 11)}
+	logits, _, err := cb.RunBatch(ctx, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.EncodeCalls(); got != warmEncodes {
+		t.Errorf("steady-state evaluation encoded: %d calls after warm's %d", got, warmEncodes)
+	}
+	if stats := cb.CacheStats(); stats.Hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	for bi, img := range images {
+		want := pnet.Infer(img)
+		for i := range want {
+			if math.Abs(logits[bi][i]-want[i]) > 1e-2 {
+				t.Fatalf("image %d logit %d: %g vs %g", bi, i, logits[bi][i], want[i])
+			}
+		}
+	}
+}
+
+// TestCompiledBatchedMatchesUncached: the cached path is bit-identical to
+// the uncached batched path (EncodeConst is deterministic and plaintexts
+// are reused read-only), pinned by output ciphertext digests.
+func TestCompiledBatchedMatchesUncached(t *testing.T) {
+	params := tinyParams()
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(83)
+	bnet, err := CompileBatched(pnet, params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	images := []*cnn.Tensor{randomImage(1, 8, 8, 20), randomImage(1, 8, 8, 21)}
+	packed, err := bnet.PackBatch(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	encryptInputs := func(ctx *Context) []*CT {
+		cts := make([]*CT, len(packed))
+		for p, v := range packed {
+			cts[p] = ctx.EncryptVector(v)
+		}
+		return cts
+	}
+
+	// Same seed → identical fresh ciphertexts on both paths.
+	ctxA := NewContext(params, 84, nil)
+	plain := NewCryptoBackend(ctxA, nil)
+	outsA := bnet.Evaluate(plain, encryptInputs(ctxA))
+
+	ctxB := NewContext(params, 84, nil)
+	cb := NewCompiledBatched(bnet, params, ctxB.Encoder, 0)
+	cb.Warm(params.MaxLevel())
+	outsB := bnet.Evaluate(cb.Backend(ctxB, nil), encryptInputs(ctxB))
+
+	if len(outsA) != len(outsB) {
+		t.Fatalf("output counts differ: %d vs %d", len(outsA), len(outsB))
+	}
+	for i := range outsA {
+		if outsA[i].Ciphertext().Digest() != outsB[i].Ciphertext().Digest() {
+			t.Fatalf("logit %d: cached path diverged from uncached path", i)
+		}
+	}
+}
+
+// TestCompiledBatchedEvaluateBatch: the serve-path entry combines
+// per-request ciphertexts and evaluates; hostile members error, not panic.
+func TestCompiledBatchedEvaluateBatch(t *testing.T) {
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(85)
+	base := tinyParams()
+	params, err := BatchedParams(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnet, err := CompileBatched(pnet, params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(params, 86, BatchRotations(4))
+	cb := NewCompiledBatched(bnet, params, ctx.Encoder, 0)
+	cb.Warm(params.MaxLevel())
+
+	images := []*cnn.Tensor{randomImage(1, 8, 8, 40), randomImage(1, 8, 8, 41)}
+	members := make([][]*CT, len(images))
+	for m, img := range images {
+		packed, err := bnet.PackImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts := make([]*CT, len(packed))
+		for p, v := range packed {
+			cts[p] = ctx.EncryptVector(v)
+		}
+		members[m] = cts
+	}
+	outs, _, err := cb.EvaluateBatch(ctx, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := decodeBatchLogits(ctx, outs, len(images))
+	for bi, img := range images {
+		want := pnet.Infer(img)
+		for i := range want {
+			if math.Abs(logits[bi][i]-want[i]) > 1e-2 {
+				t.Fatalf("image %d logit %d: %g vs %g", bi, i, logits[bi][i], want[i])
+			}
+		}
+	}
+
+	if _, _, err := cb.EvaluateBatch(ctx, nil); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, _, err := cb.EvaluateBatch(ctx, [][]*CT{members[0][:1]}); err == nil {
+		t.Error("ragged member accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package hecnn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fxhenn/internal/cnn"
+)
+
+// encoderTolerance is the agreed cross-path tolerance: CKKS fixed-point
+// noise at the test parameter set keeps logits within ~1e-2 of the exact
+// plaintext inference, and every evaluation path must land in that band.
+const encoderTolerance = 1e-2
+
+// TestDifferentialEvaluationPaths is the cross-path differential harness
+// of issue 5: the four evaluation paths — LoLa per-request, compiled-
+// cached, hoisted, and CryptoNets-batched — must agree with the plaintext
+// network within encoder tolerance across the MNIST-profile and
+// CIFAR-profile test networks and multiple weight seeds. The
+// deterministic paths are additionally pinned by output-ciphertext
+// digests: compiled-cached must be bit-identical to the uncached LoLa
+// path (same seed, same operand stream), and the hoisted path must be
+// bit-identical run to run (hoisting reorders KeySwitch internals but is
+// still deterministic). This is the single place all four paths meet; it
+// runs in tier-1.
+func TestDifferentialEvaluationPaths(t *testing.T) {
+	profiles := []struct {
+		name string
+		make func() *cnn.Network
+	}{
+		// TinyNet shares FxHENN-MNIST's layer pattern (conv→sq→fc→sq→fc),
+		// TinyConvNet shares FxHENN-CIFAR10's (conv→sq→conv→sq→fc).
+		{"MNIST-profile", cnn.NewTinyNet},
+		{"CIFAR-profile", cnn.NewTinyConvNet},
+	}
+	for _, prof := range profiles {
+		for _, seed := range []int64{7, 1001} {
+			t.Run(fmt.Sprintf("%s/seed%d", prof.name, seed), func(t *testing.T) {
+				params := tinyParams()
+				pnet := prof.make()
+				pnet.InitWeights(seed)
+				img := randomImage(pnet.InC, pnet.InH, pnet.InW, seed+1)
+				want := pnet.Infer(img)
+				ctxSeed := seed + 2
+
+				checkLogits := func(path string, got []float64) {
+					t.Helper()
+					if len(got) < len(want) {
+						t.Fatalf("%s: %d logits, want %d", path, len(got), len(want))
+					}
+					for i := range want {
+						if math.Abs(got[i]-want[i]) > encoderTolerance {
+							t.Errorf("%s logit %d: %g vs plaintext %g", path, i, got[i], want[i])
+						}
+					}
+					if cnn.Argmax(got[:len(want)]) != cnn.Argmax(want) {
+						t.Errorf("%s: argmax diverged from plaintext", path)
+					}
+				}
+				outElems := func(n *Network) int {
+					return n.Layers[len(n.Layers)-1].OutElems()
+				}
+
+				// Path 1 — LoLa per-request (the latency path).
+				lola := Compile(pnet, params.Slots())
+				rots := lola.RotationsNeeded(params.MaxLevel())
+				ctx1 := NewContext(params, ctxSeed, rots)
+				out1 := lola.EvaluateEncrypted(NewCryptoBackend(ctx1, nil), encryptInput(lola, ctx1, img))
+				lolaDigest := out1.Ciphertext().Digest()
+				checkLogits("lola", ctx1.DecryptVector(out1)[:outElems(lola)])
+
+				// Path 2 — compiled-cached: same seed, same operand stream
+				// ⇒ bit-identical to path 1, pinned by digest.
+				ctx2 := NewContext(params, ctxSeed, rots)
+				cn := NewCompiledNetwork(lola, params, ctx2.Encoder, 0)
+				cn.Warm(params.MaxLevel())
+				out2 := lola.EvaluateEncrypted(cn.Backend(ctx2, nil), encryptInput(lola, ctx2, img))
+				if d := out2.Ciphertext().Digest(); d != lolaDigest {
+					t.Errorf("compiled-cached digest %s != lola %s", d, lolaDigest)
+				}
+				checkLogits("compiled", ctx2.DecryptVector(out2)[:outElems(lola)])
+
+				// Path 3 — hoisted rotations: numerically distinct from the
+				// per-rotation path (shared decomposition), so it gets the
+				// tolerance check plus a run-to-run determinism digest pin.
+				hoisted := CompileWith(pnet, params.Slots(), Options{Hoist: true})
+				hrots := hoisted.RotationsNeeded(params.MaxLevel())
+				ctx3 := NewContext(params, ctxSeed, hrots)
+				out3 := hoisted.EvaluateEncrypted(NewCryptoBackend(ctx3, nil), encryptInput(hoisted, ctx3, img))
+				checkLogits("hoisted", ctx3.DecryptVector(out3)[:outElems(hoisted)])
+				ctx3b := NewContext(params, ctxSeed, hrots)
+				out3b := hoisted.EvaluateEncrypted(NewCryptoBackend(ctx3b, nil), encryptInput(hoisted, ctx3b, img))
+				if a, b := out3.Ciphertext().Digest(), out3b.Ciphertext().Digest(); a != b {
+					t.Errorf("hoisted path not deterministic: %s vs %s", a, b)
+				}
+
+				// Path 4 — CryptoNets-batched (the throughput path), with a
+				// second image in the batch so slot demux is exercised too.
+				bnet, err := CompileBatched(pnet, params.Slots())
+				if err != nil {
+					t.Fatal(err)
+				}
+				img2 := randomImage(pnet.InC, pnet.InH, pnet.InW, seed+3)
+				ctx4 := NewContext(params, ctxSeed, nil)
+				logits, _, err := bnet.RunBatch(ctx4, []*cnn.Tensor{img, img2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkLogits("batched[0]", logits[0])
+				want2 := pnet.Infer(img2)
+				for i := range want2 {
+					if math.Abs(logits[1][i]-want2[i]) > encoderTolerance {
+						t.Errorf("batched[1] logit %d: %g vs plaintext %g", i, logits[1][i], want2[i])
+					}
+				}
+
+				// Batched-cached must match batched-uncached bit-for-bit
+				// (same context seed ⇒ same fresh ciphertexts).
+				ctx4b := NewContext(params, ctxSeed, nil)
+				cb := NewCompiledBatched(bnet, params, ctx4b.Encoder, 0)
+				cb.Warm(params.MaxLevel())
+				logitsC, _, err := cb.RunBatch(ctx4b, []*cnn.Tensor{img, img2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for bi := range logits {
+					for i := range logits[bi] {
+						if logits[bi][i] != logitsC[bi][i] {
+							t.Errorf("batched cached/uncached diverged at [%d][%d]: %g vs %g",
+								bi, i, logits[bi][i], logitsC[bi][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}

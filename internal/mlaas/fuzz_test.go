@@ -1,0 +1,65 @@
+package mlaas
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"fxhenn/internal/hecnn"
+)
+
+// FuzzServerRequest hardens the request decode boundary, both framings:
+// an arbitrary byte stream through Server.Handle must terminate in a
+// typed refusal (or, for the vanishingly unlikely valid frame, a served
+// response) — never a panic, which the server surfaces as StatusInternal
+// and counts in Stats().Panics. The batched framing is enabled so the
+// magic-routed path is fuzzed too.
+func FuzzServerRequest(f *testing.F) {
+	fx := newBatchFixture(f, Config{}, 2, time.Millisecond)
+	u32 := func(words ...uint32) []byte {
+		var buf bytes.Buffer
+		for _, w := range words {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], w)
+			buf.Write(b[:])
+		}
+		return buf.Bytes()
+	}
+	// A genuine single-slot ciphertext on the batch ring gives the fuzzer
+	// a foothold past the header checks.
+	vecs, err := fx.bnet.PackImage(randomImage(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	bc := fx.batchClient(4)
+	ct := bc.encryptor.Encrypt(bc.encoder.Encode(vecs[0], fx.bparams.MaxLevel(), fx.bparams.Scale))
+	var ctBuf bytes.Buffer
+	if _, err := ct.WriteTo(&ctBuf); err != nil {
+		f.Fatal(err)
+	}
+	validCT := ctBuf.Bytes()
+
+	f.Add([]byte{})
+	f.Add([]byte{1, 0})
+	f.Add(u32(0))
+	f.Add(u32(maxRequestCiphertexts + 1))
+	f.Add(u32(1))
+	f.Add(u32(uint32(fx.henet.Layers[0].(*hecnn.ConvPacked).NumPositions())))
+	f.Add(u32(batchMagic))
+	f.Add(u32(batchMagic, 0))
+	f.Add(u32(batchMagic, uint32(fx.bnet.InputSize())))
+	f.Add(append(u32(batchMagic, uint32(fx.bnet.InputSize())), validCT...))
+	f.Add(append(u32(batchMagic, uint32(fx.bnet.InputSize())), validCT[:len(validCT)/2]...))
+	mutated := append(u32(batchMagic, uint32(fx.bnet.InputSize())), validCT...)
+	mutated[12] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := fx.server.Stats().Panics
+		handleBuf(fx.server, data)
+		if after := fx.server.Stats().Panics; after != before {
+			t.Fatalf("request bytes % x reached an evaluation panic", data)
+		}
+	})
+}

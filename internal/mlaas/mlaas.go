@@ -12,6 +12,17 @@
 //	response: status byte (see Status), then one ciphertext (StatusOK) or a
 //	          uint32-length error string (any other status)
 //
+// Batched requests (Config.Batch, PR5) reuse the same framing with a
+// sentinel first word: a uint32 batch magic — chosen above
+// maxRequestCiphertexts so servers without batching reject it as a bad
+// count — then the real uint32 ciphertext count and that many
+// position-major ciphertexts under the batch-ring parameters (one
+// single-slot ciphertext per tensor position, the image's value in slot
+// 0). The batched success response is the status byte, a uint32 slot
+// index, a uint32 logit-ciphertext count, and the shared logit
+// ciphertexts; the client decrypts only its own slot. Failure responses
+// are identical in both framings.
+//
 // The serving layer is production-shaped: per-connection I/O deadlines and
 // a total request budget, admission scheduling (MaxConcurrent evaluation
 // slots fronted by an optional bounded FIFO queue — Config.QueueDepth —
@@ -54,6 +65,12 @@ import (
 // maxRequestCiphertexts bounds a request so a malicious client cannot force
 // unbounded allocation.
 const maxRequestCiphertexts = 4096
+
+// batchMagic is the first word of a batched request ("BTCH"). It is far
+// above maxRequestCiphertexts, so a server without batching enabled —
+// or an old server predating the batched framing — rejects it as a
+// hostile ciphertext count instead of misparsing the request.
+const batchMagic uint32 = 0x42544348
 
 // maxErrorMessageBytes caps the error string on the wire in both
 // directions: the server truncates before writing, the client refuses to
@@ -99,6 +116,12 @@ type Config struct {
 	// scheduling fair and work-conserving under load. Parallel evaluation
 	// is bit-exact with serial evaluation.
 	Workers int
+
+	// Batch, when non-nil, enables cross-request batched serving: batched
+	// requests park in a scheduler that coalesces them into one
+	// position-major BatchedNetwork evaluation per flush (see batch.go).
+	// Per-request LoLa traffic is unaffected.
+	Batch *BatchConfig
 
 	// Metrics, when non-nil, receives the server's telemetry: request
 	// counters by status, phase/request latency histograms, the in-flight
@@ -154,6 +177,10 @@ type Server struct {
 	// plaintexts; nil when Config.CacheBytes < 0, in which case every
 	// request re-encodes through a plain crypto backend.
 	compiled *hecnn.CompiledNetwork
+	// Batched serving (nil unless Config.Batch is set): the batch-ring
+	// evaluation context and the scheduler coalescing batched requests.
+	bparams ckks.Parameters
+	bat     *batcher
 
 	// met is nil when Config.Metrics is nil; reqSeq tags every exchange
 	// with a monotonically increasing id that appears in failure messages
@@ -220,6 +247,20 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		s.compiled = hecnn.NewCompiledNetwork(henet, params, s.ctx.Encoder, cfg.CacheBytes)
 		s.compiled.SetMetrics(cfg.Metrics)
 		s.compiled.Warm(params.MaxLevel())
+	}
+	if cfg.Batch != nil {
+		bc := cfg.Batch.withDefaults()
+		s.bparams = bc.Params
+		bctx := &hecnn.Context{
+			Params:  bc.Params,
+			Encoder: ckks.NewEncoder(bc.Params),
+			Eval:    ckks.NewEvaluator(bc.Params, bc.Rlk, bc.Rtk),
+		}
+		cb := hecnn.NewCompiledBatched(bc.Net, bc.Params, bctx.Encoder, bc.CacheBytes)
+		cb.SetMetrics(cfg.Metrics)
+		cb.Warm(bc.Params.MaxLevel())
+		s.bat = newBatcher(bc, bctx, cb, s.adm, s.met)
+		go s.bat.run()
 	}
 	return s
 }
@@ -319,6 +360,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closeDrained()
 	}
 	s.mu.Unlock()
+	if s.bat != nil {
+		// Flush parked batch members immediately: their handlers are
+		// in-flight requests the drain below waits for.
+		s.bat.drain()
+	}
 
 	var err error
 	select {
@@ -339,6 +385,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		l.Close()
 	}
 	s.mu.Unlock()
+	if s.bat != nil {
+		// Stop the scheduler; any member still pending (forced shutdown)
+		// is failed with StatusShuttingDown rather than evaluated.
+		s.bat.stop()
+	}
 	return err
 }
 
@@ -424,10 +475,20 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 		return true
 	}
 	rt.timePhase(phaseQueue, wait)
-	defer s.adm.release()
+	// The batched path hands its slot back while the request parks in the
+	// batch (the flush re-acquires one slot for the whole batch), so the
+	// release must be idempotent.
+	slotHeld := true
+	releaseSlot := func() {
+		if slotHeld {
+			slotHeld = false
+			s.adm.release()
+		}
+	}
+	defer releaseSlot()
 
 	trw.abs = deadline
-	err := s.serveRequest(trw, rt)
+	err := s.serveRequest(trw, rt, releaseSlot)
 	if err == nil {
 		s.outcome(rt, StatusOK)
 		return false
@@ -459,7 +520,7 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 // structure surviving validation, scale drift in the evaluator, a bug
 // in a layer kernel — is confined to this request and surfaced as
 // StatusInternal.
-func (s *Server) serveRequest(rw io.ReadWriter, rt *reqTrace) (err error) {
+func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &wireError{StatusInternal, fmt.Sprintf("evaluation panic: %v", r)}
@@ -471,9 +532,15 @@ func (s *Server) serveRequest(rw io.ReadWriter, rt *reqTrace) (err error) {
 	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
 		return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
 	}
-	count := int(binary.LittleEndian.Uint32(cntBuf[:]))
+	raw := binary.LittleEndian.Uint32(cntBuf[:])
+	if raw == batchMagic && s.bat != nil {
+		return s.serveBatched(rw, rt, phaseStart, releaseSlot)
+	}
+	count := int(raw)
 	// Reject a hostile count before comparing against the model shape or
-	// allocating anything: the bound check must come first.
+	// allocating anything: the bound check must come first. A batched
+	// request against a server without batching enabled lands here too —
+	// the magic is deliberately far above the cap.
 	if count < 1 || count > maxRequestCiphertexts {
 		return &wireError{StatusBadRequest, fmt.Sprintf("request ciphertext count %d outside [1,%d]", count, maxRequestCiphertexts)}
 	}
@@ -530,6 +597,104 @@ func (s *Server) serveRequest(rw io.ReadWriter, rt *reqTrace) (err error) {
 	}
 	if _, err := out.Ciphertext().WriteTo(rw); err != nil {
 		return nil
+	}
+	rt.timePhase(phaseEncode, time.Since(phaseStart))
+	s.mu.Lock()
+	s.stats.Served++
+	s.mu.Unlock()
+	return nil
+}
+
+// serveBatched runs one batched exchange: decode and validate the
+// position-major ciphertexts, hand the evaluation slot back, park in the
+// batch scheduler, and — when the flush delivers — ship the shared logit
+// ciphertexts plus this member's slot index. The scheduler evaluates
+// whole batches under one evaluation slot; a member whose budget expires
+// while parked claims itself away from the next flush and is refused
+// with StatusBusy, never stalling the batch.
+func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, releaseSlot func()) error {
+	bnet := s.bat.net
+	var cntBuf [4]byte
+	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
+		return &wireError{StatusBadRequest, fmt.Sprintf("reading batched request header: %v", err)}
+	}
+	count := int(binary.LittleEndian.Uint32(cntBuf[:]))
+	if count < 1 || count > maxRequestCiphertexts {
+		return &wireError{StatusBadRequest, fmt.Sprintf("batched ciphertext count %d outside [1,%d]", count, maxRequestCiphertexts)}
+	}
+	if expect := bnet.InputSize(); count != expect {
+		return &wireError{StatusBadRequest, fmt.Sprintf("expected %d position-major ciphertexts, got %d", expect, count)}
+	}
+	cts := make([]*hecnn.CT, 0, count)
+	for i := 0; i < count; i++ {
+		ct, err := ckks.ReadCiphertext(rw, s.bparams)
+		if err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading ciphertext %d: %v", i, err)}
+		}
+		cts = append(cts, hecnn.WrapCiphertext(ct))
+	}
+	if rt != nil {
+		now := time.Now()
+		rt.timePhase(phaseDecode, now.Sub(phaseStart))
+		phaseStart = now
+	}
+	if err := bnet.ValidateBatchCiphertexts(cts, s.bparams.MaxLevel()); err != nil {
+		return &wireError{StatusBadRequest, err.Error()}
+	}
+	if rt != nil {
+		now := time.Now()
+		rt.timePhase(phaseValidate, now.Sub(phaseStart))
+		phaseStart = now
+	}
+	if s.testEvalHook != nil {
+		s.testEvalHook()
+	}
+
+	// Park in the scheduler without holding an evaluation slot: the flush
+	// acquires one slot for the whole batch.
+	releaseSlot()
+	m := &batchMember{
+		arrival:  time.Now(),
+		deadline: rw.abs,
+		cts:      cts,
+		result:   make(chan batchOutcome, 1),
+	}
+	if we := s.bat.submit(m); we != nil {
+		return we
+	}
+	timer := time.NewTimer(time.Until(m.deadline))
+	defer timer.Stop()
+	var out batchOutcome
+	select {
+	case out = <-m.result:
+	case <-timer.C:
+		if m.claimed.CompareAndSwap(false, true) {
+			// Still parked: withdraw before any flush claims it.
+			return &wireError{StatusBusy, "request budget expired waiting for a batch"}
+		}
+		// A flush owns this member; its result is imminent.
+		out = <-m.result
+	}
+	if rt != nil {
+		now := time.Now()
+		rt.timePhase(phaseEvaluate, now.Sub(phaseStart))
+		phaseStart = now
+	}
+	if out.err != nil {
+		return out.err
+	}
+
+	var hdr [9]byte
+	hdr[0] = byte(StatusOK)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(out.slot))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(out.outs)))
+	if _, err := rw.Write(hdr[:]); err != nil {
+		return nil // client gone; nothing to report
+	}
+	for _, ct := range out.outs {
+		if _, err := ct.Ciphertext().WriteTo(rw); err != nil {
+			return nil
+		}
 	}
 	rt.timePhase(phaseEncode, time.Since(phaseStart))
 	s.mu.Lock()
@@ -714,4 +879,125 @@ func (c *Client) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor)
 	logits := c.encoder.Decode(c.decryptor.Decrypt(out))
 	rows := c.net.Layers[len(c.net.Layers)-1].OutElems()
 	return logits[:rows], nil
+}
+
+// BatchClient is the client side of cross-request batched serving. It
+// owns the secret key of the BATCH ring (a different instantiation from
+// the per-request ring — typically hecnn.BatchedParams), packs its image
+// position-major with the value in slot 0, and decrypts only its own
+// slot of the shared logit ciphertexts the server returns. Other members'
+// logits sit in other slots of the same ciphertexts; with a shared batch
+// key every member could read them, so a deployment batches mutually
+// trusting requests (one tenant), exactly as CryptoNets assumes.
+type BatchClient struct {
+	params    ckks.Parameters
+	net       *hecnn.BatchedNetwork
+	encoder   *ckks.Encoder
+	encryptor *ckks.Encryptor
+	decryptor *ckks.Decryptor
+
+	// Timeout is the rolling per-read/per-write deadline, as Client's.
+	Timeout time.Duration
+
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// NewBatchClient builds the batch-ring client from its key material.
+func NewBatchClient(params ckks.Parameters, bnet *hecnn.BatchedNetwork, pk *ckks.PublicKey, sk *ckks.SecretKey, seed int64) *BatchClient {
+	return &BatchClient{
+		params:    params,
+		net:       bnet,
+		encoder:   ckks.NewEncoder(params),
+		encryptor: ckks.NewEncryptor(params, pk, seed),
+		decryptor: ckks.NewDecryptor(params, sk),
+		Timeout:   30 * time.Second,
+	}
+}
+
+// Infer runs one batched encrypted inference: the image ships as one
+// single-slot ciphertext per tensor position and the logits come back at
+// the server-assigned slot of the shared output ciphertexts. The server
+// coalesces concurrent calls into one evaluation, so latency includes up
+// to one batch window of deliberate waiting.
+func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+	packed, err := c.net.PackImage(img)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var abs time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		abs = dl
+	}
+	trw := newTimedRW(conn, c.Timeout, abs)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], batchMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(packed)))
+	if _, err := trw.Write(hdr[:]); err != nil {
+		return nil, &TransportError{Err: err}
+	}
+	c.BytesSent += 8
+	level := c.params.MaxLevel()
+	for _, v := range packed {
+		ct := c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
+		n, err := ct.WriteTo(trw)
+		c.BytesSent += n
+		if err != nil {
+			return nil, &TransportError{Err: err}
+		}
+	}
+
+	var status [1]byte
+	if _, err := io.ReadFull(trw, status[:]); err != nil {
+		return nil, &TransportError{Err: err}
+	}
+	c.BytesReceived++
+	if code := Status(status[0]); code != StatusOK {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(trw, lenBuf[:]); err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
+		}
+		c.BytesReceived += 4
+		msgLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if msgLen > maxErrorMessageBytes {
+			return nil, &StatusError{Code: code, Msg: "(error message exceeds wire cap)"}
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(trw, msg); err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
+		}
+		c.BytesReceived += int64(msgLen)
+		return nil, &StatusError{Code: code, Msg: string(msg)}
+	}
+
+	var shdr [8]byte
+	if _, err := io.ReadFull(trw, shdr[:]); err != nil {
+		return nil, &TransportError{Partial: true, Err: err}
+	}
+	c.BytesReceived += 8
+	slot := int(binary.LittleEndian.Uint32(shdr[:4]))
+	count := int(binary.LittleEndian.Uint32(shdr[4:]))
+	if slot < 0 || slot >= c.params.Slots() {
+		return nil, &TransportError{Partial: true, Err: fmt.Errorf("server assigned slot %d outside the ring's %d slots", slot, c.params.Slots())}
+	}
+	if count < 1 || count > maxRequestCiphertexts {
+		return nil, &TransportError{Partial: true, Err: fmt.Errorf("batched response ciphertext count %d outside [1,%d]", count, maxRequestCiphertexts)}
+	}
+	if expect := c.net.OutputSize(); count != expect {
+		return nil, &TransportError{Partial: true, Err: fmt.Errorf("batched response has %d logit ciphertexts, want %d", count, expect)}
+	}
+	logits := make([]float64, count)
+	for i := 0; i < count; i++ {
+		out, err := ckks.ReadCiphertext(trw, c.params)
+		if err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
+		}
+		c.BytesReceived += int64(out.SerializedSize())
+		logits[i] = c.encoder.Decode(c.decryptor.Decrypt(out))[slot]
+	}
+	return logits, nil
 }

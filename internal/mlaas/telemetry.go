@@ -33,6 +33,8 @@ const (
 	MetricLayerSeconds   = "hecnn_layer_seconds"    // histogram{net,layer}
 	MetricLayerHOPs      = "hecnn_layer_hops_total" // counter{net,layer}
 	MetricLayerKS        = "hecnn_layer_keyswitches_total"
+	MetricBatchOccupancy = "mlaas_batch_occupancy"     // histogram: members per flushed batch
+	MetricBatchFlushes   = "mlaas_batch_flushes_total" // counter{reason}
 )
 
 // phase indexes the request lifecycle histograms.
@@ -66,6 +68,9 @@ type serverMetrics struct {
 	inflight *telemetry.Gauge
 	slow     *telemetry.Counter
 	layers   map[string]layerMetrics
+
+	batchOccupancy *telemetry.Histogram
+	batchFlushes   [numFlushReasons]*telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetrics {
@@ -84,6 +89,12 @@ func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetr
 	m.request = reg.Histogram(MetricRequestSeconds, "whole-exchange latency", nil)
 	m.inflight = reg.Gauge(MetricInflight, "admitted requests currently in flight")
 	m.slow = reg.Counter(MetricSlowRequests, "requests over the slow-request threshold")
+	m.batchOccupancy = reg.Histogram(MetricBatchOccupancy,
+		"members evaluated per batch flush", []float64{1, 2, 4, 8, 16, 32, 64})
+	for r := flushReason(0); r < numFlushReasons; r++ {
+		m.batchFlushes[r] = reg.Counter(MetricBatchFlushes,
+			"batch flushes by trigger", telemetry.L("reason", r.String()))
+	}
 	for _, l := range henet.Layers {
 		m.layers[l.Name()] = layerMetrics{
 			seconds: reg.Histogram(MetricLayerSeconds, "per-layer evaluate wall time", nil,
@@ -104,6 +115,16 @@ func (m *serverMetrics) inflightAdd(d float64) {
 		return
 	}
 	m.inflight.Add(d)
+}
+
+// observeBatch records one batch flush: occupancy histogram and the
+// flush-trigger counter. Nil-safe like the rest of the handle set.
+func (m *serverMetrics) observeBatch(occupancy int, reason flushReason) {
+	if m == nil {
+		return
+	}
+	m.batchOccupancy.Observe(float64(occupancy))
+	m.batchFlushes[reason].Inc()
 }
 
 // observeLayer is the hecnn.Tracer sink: one call per completed layer.
