@@ -34,6 +34,18 @@
 // with its per-layer breakdown; -digest-interval prints a periodic
 // one-line operational digest (req/s, evaluate p50/p99, busy refusals).
 //
+// Resilience: -shed-ewma enables deadline-aware load shedding — the
+// server tracks an EWMA of evaluation latency and refuses requests whose
+// projected completion already overshoots their budget, attaching a
+// retry-after-ms hint to every busy refusal so clients back off for a
+// useful interval instead of guessing. -health-addr serves the
+// /healthz + /readyz pair on its own listener (both are also mounted on
+// the metrics mux when -metrics-addr is set). -endpoints takes a
+// comma-separated list of extra replica addresses; the demo client then
+// drives InferHedged across this server plus those replicas — per-replica
+// circuit breakers, in-round failover, and latency-triggered hedging —
+// with CRC frame checking enabled.
+//
 // Usage:
 //
 //	mlaas-server -addr 127.0.0.1:7100 -max-concurrent 4
@@ -41,6 +53,8 @@
 //	mlaas-server -workers 8 -hoist -demo 3
 //	mlaas-server -batch-size 8 -batch-window 50ms -demo 8
 //	mlaas-server -metrics-addr 127.0.0.1:7190 -slow-threshold 5s -digest-interval 30s
+//	mlaas-server -shed-ewma 0.3 -queue-depth 8 -health-addr 127.0.0.1:7191
+//	mlaas-server -demo 3 -endpoints 10.0.0.2:7100,10.0.0.3:7100
 package main
 
 import (
@@ -52,6 +66,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -81,6 +96,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof/ on this address (empty disables)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "log requests slower than this with their per-layer breakdown (0 disables)")
 	digestInterval := flag.Duration("digest-interval", 0, "print a one-line telemetry digest at this interval (0 disables)")
+	shedEWMA := flag.Float64("shed-ewma", 0, "EWMA smoothing factor in (0,1] for deadline-aware load shedding; busy refusals then carry retry-after-ms hints (0 disables)")
+	healthAddr := flag.String("health-addr", "", "serve /healthz and /readyz on this address (empty disables; health is also mounted on -metrics-addr)")
+	endpoints := flag.String("endpoints", "", "comma-separated extra replica addresses; the demo client hedges and fails over across this server plus these (empty = single-endpoint retry demo)")
 	flag.Parse()
 
 	var (
@@ -161,6 +179,7 @@ func main() {
 		Workers:              *workers,
 		Metrics:              reg,
 		SlowRequestThreshold: *slowThreshold,
+		ShedEWMA:             *shedEWMA,
 		Batch:                batchCfg,
 	})
 
@@ -183,9 +202,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("mlaas-server: metrics and pprof on http://%s/metrics\n", ml.Addr())
+		mux := telemetry.NewMux(reg)
+		server.RegisterHealth(mux)
 		go func() {
-			if err := http.Serve(ml, telemetry.NewMux(reg)); err != nil {
+			if err := http.Serve(ml, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "mlaas-server: metrics server stopped: %v\n", err)
+			}
+		}()
+	}
+	if *healthAddr != "" {
+		hl, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "health listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mlaas-server: health on http://%s/readyz\n", hl.Addr())
+		hmux := http.NewServeMux()
+		server.RegisterHealth(hmux)
+		go func() {
+			if err := http.Serve(hl, hmux); err != nil {
+				fmt.Fprintf(os.Stderr, "mlaas-server: health server stopped: %v\n", err)
 			}
 		}()
 	}
@@ -198,9 +234,13 @@ func main() {
 	go func() { serveErr <- server.Serve(l) }()
 
 	if *demo > 0 {
-		if batchCfg != nil {
+		switch {
+		case batchCfg != nil:
 			runBatchedDemo(bparams, pnet, bnet, bpk, bsk, l.Addr().String(), *demo)
-		} else {
+		case *endpoints != "":
+			runHedgedDemo(params, pnet, henet, pk, sk,
+				append([]string{l.Addr().String()}, strings.Split(*endpoints, ",")...), *demo)
+		default:
 			runDemo(params, pnet, henet, pk, sk, l.Addr().String(), *demo)
 		}
 	} else {
@@ -258,6 +298,49 @@ func runDemo(params ckks.Parameters, pnet *cnn.Network, henet *hecnn.Network,
 	}
 	fmt.Printf("demo traffic: %d bytes sent, %d received, %d retries\n",
 		client.BytesSent, client.BytesReceived, client.Retries)
+}
+
+// runHedgedDemo plays the client role across a replica set: every
+// inference goes through InferHedged, so per-replica circuit breakers,
+// in-round failover, and latency-triggered hedging are all live, and CRC
+// frame checking catches any transit corruption. The local server is
+// always the first endpoint; the extras may be down — the fleet answers
+// as long as one replica does.
+func runHedgedDemo(params ckks.Parameters, pnet *cnn.Network, henet *hecnn.Network,
+	pk *ckks.PublicKey, sk *ckks.SecretKey, addrs []string, n int) {
+	client := mlaas.NewClient(params, henet, pk, sk, 2)
+	client.FrameCheck = true
+	eps := make([]mlaas.Endpoint, 0, len(addrs))
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			eps = append(eps, mlaas.TCPEndpoint("", a))
+		}
+	}
+	policy := mlaas.FailoverPolicy{Hedge: true}
+	for i := 0; i < n; i++ {
+		img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		for j := range img.Data {
+			img.Data[j] = rng.Float64()
+		}
+		want := pnet.Infer(img)
+
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		start := time.Now()
+		got, err := client.InferHedged(ctx, eps, img, policy)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hedged demo inference %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("hedged demo inference %d: %v, class %d (plaintext %d)\n",
+			i, time.Since(start).Round(time.Millisecond), cnn.Argmax(got), cnn.Argmax(want))
+	}
+	for _, ep := range eps {
+		fmt.Printf("hedged demo endpoint %s: breaker %s\n", ep.Name, client.EndpointBreakerState(ep.Name))
+	}
+	fmt.Printf("hedged demo traffic: %d bytes sent, %d received, %d retries, %d hedges\n",
+		client.BytesSent, client.BytesReceived, client.Retries, client.Hedges)
 }
 
 // runBatchedDemo fires n concurrent batched inferences so the server's

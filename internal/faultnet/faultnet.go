@@ -31,6 +31,12 @@ var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
 // fault and the connection was closed out from under it.
 var ErrInjectedStall = errors.New("faultnet: stalled connection closed")
 
+// ErrInjectedReset is returned by an operation that would cross a
+// configured reset point. Unlike a drop, the failing operation delivers
+// no prefix — the whole frame vanishes, as a RST arriving between
+// syscalls would make it.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
 // Config selects which faults an injected connection exhibits. The zero
 // value injects nothing and behaves like the wrapped connection.
 type Config struct {
@@ -56,9 +62,33 @@ type Config struct {
 	CorruptWriteAt int64
 	CorruptBytes   int
 
+	// CorruptReadAt flips bits in the read stream starting at this byte
+	// offset (0 disables), with its own CorruptBytes budget and the same
+	// seeded mask. Corrupting reads damages what THIS endpoint receives
+	// while the peer's stream stays honest — the scenario CRC framing
+	// exists for.
+	CorruptReadAt int64
+
+	// ResetAfterReads / ResetAfterWrites fail any operation that would
+	// cross the given byte offset with ErrInjectedReset and close the
+	// connection, delivering no prefix (0 disables). Compare
+	// DropAfterReads/Writes, which deliver the prefix first.
+	ResetAfterReads  int64
+	ResetAfterWrites int64
+
 	// ShortReads delivers at most one byte per Read call, exercising every
-	// io.ReadFull loop on the other side of the decoder.
-	ShortReads bool
+	// io.ReadFull loop on the other side of the decoder. ShortWrites is the
+	// mirror: at most one byte per Write call, reporting n=1 with a nil
+	// error — deliberately violating the io.Writer contract the way a
+	// misbehaving transport would.
+	ShortReads  bool
+	ShortWrites bool
+
+	// DripReads / DripWrites sleep before every operation and then move at
+	// most one byte (0 disables) — a link slowly leaking a frame one byte
+	// at a time, which trips per-operation deadlines mid-frame.
+	DripReads  time.Duration
+	DripWrites time.Duration
 
 	// StallAfterWrites parks every Write indefinitely once that many bytes
 	// have been written (0 disables). A stalled operation returns only
@@ -72,13 +102,14 @@ type Conn struct {
 	inner net.Conn
 	cfg   Config
 
-	mu           sync.Mutex
-	readBytes    int64
-	writtenBytes int64
-	corruptLeft  int
-	mask         byte
-	closed       chan struct{}
-	closeOnce    sync.Once
+	mu              sync.Mutex
+	readBytes       int64
+	writtenBytes    int64
+	corruptLeft     int
+	corruptReadLeft int
+	mask            byte
+	closed          chan struct{}
+	closeOnce       sync.Once
 }
 
 // New wraps inner with the configured faults.
@@ -88,7 +119,7 @@ func New(inner net.Conn, cfg Config) *Conn {
 		corrupt = 1
 	}
 	mask := byte(rand.New(rand.NewSource(cfg.Seed)).Intn(255) + 1) // never 0: a 0 mask would be a no-op
-	return &Conn{inner: inner, cfg: cfg, corruptLeft: corrupt, mask: mask, closed: make(chan struct{})}
+	return &Conn{inner: inner, cfg: cfg, corruptLeft: corrupt, corruptReadLeft: corrupt, mask: mask, closed: make(chan struct{})}
 }
 
 // Pipe returns an in-memory duplex pair with faults injected on the
@@ -104,14 +135,24 @@ func (c *Conn) Read(b []byte) (int, error) {
 			return 0, ErrInjectedStall
 		}
 	}
+	if c.cfg.DripReads > 0 {
+		if !c.sleep(c.cfg.DripReads) {
+			return 0, ErrInjectedStall
+		}
+	}
 	c.mu.Lock()
 	if c.cfg.DropAfterReads > 0 && c.readBytes >= c.cfg.DropAfterReads {
 		c.mu.Unlock()
 		c.Close()
 		return 0, ErrInjectedDrop
 	}
+	if c.cfg.ResetAfterReads > 0 && c.readBytes+int64(len(b)) > c.cfg.ResetAfterReads {
+		c.mu.Unlock()
+		c.Close()
+		return 0, ErrInjectedReset
+	}
 	limit := len(b)
-	if c.cfg.ShortReads && limit > 1 {
+	if (c.cfg.ShortReads || c.cfg.DripReads > 0) && limit > 1 {
 		limit = 1
 	}
 	if c.cfg.DropAfterReads > 0 {
@@ -123,6 +164,14 @@ func (c *Conn) Read(b []byte) (int, error) {
 
 	n, err := c.inner.Read(b[:limit])
 	c.mu.Lock()
+	if c.cfg.CorruptReadAt > 0 && c.corruptReadLeft > 0 {
+		for i := 0; i < n; i++ {
+			if c.readBytes+int64(i)+1 >= c.cfg.CorruptReadAt && c.corruptReadLeft > 0 {
+				b[i] ^= c.mask
+				c.corruptReadLeft--
+			}
+		}
+	}
 	c.readBytes += int64(n)
 	c.mu.Unlock()
 	return n, err
@@ -131,6 +180,11 @@ func (c *Conn) Read(b []byte) (int, error) {
 func (c *Conn) Write(b []byte) (int, error) {
 	if c.cfg.WriteDelay > 0 {
 		if !c.sleep(c.cfg.WriteDelay) {
+			return 0, ErrInjectedStall
+		}
+	}
+	if c.cfg.DripWrites > 0 {
+		if !c.sleep(c.cfg.DripWrites) {
 			return 0, ErrInjectedStall
 		}
 	}
@@ -146,8 +200,16 @@ func (c *Conn) Write(b []byte) (int, error) {
 		c.Close()
 		return 0, ErrInjectedDrop
 	}
+	if c.cfg.ResetAfterWrites > 0 && written+int64(len(b)) > c.cfg.ResetAfterWrites {
+		c.mu.Unlock()
+		c.Close()
+		return 0, ErrInjectedReset
+	}
 
 	limit := len(b)
+	if (c.cfg.ShortWrites || c.cfg.DripWrites > 0) && limit > 1 {
+		limit = 1
+	}
 	var dropping, stalling bool
 	if c.cfg.DropAfterWrites > 0 {
 		if rem := c.cfg.DropAfterWrites - written; int64(limit) > rem {

@@ -57,9 +57,18 @@ type BatchConfig struct {
 	// CacheBytes bounds the batched broadcast-plaintext cache, as
 	// Config.CacheBytes does for the per-request path.
 	CacheBytes int64
+	// Breaker configures the circuit breaker on the coalesced evaluation
+	// path (the degradation ladder: while it refuses, members evaluate
+	// individually instead of coalescing; a half-open probe batch tests
+	// recovery). The default threshold here is 1, not BreakerConfig's 3 —
+	// one failed flush already cost every coalesced member a round trip.
+	Breaker BreakerConfig
 }
 
 func (bc BatchConfig) withDefaults() BatchConfig {
+	if bc.Breaker.Threshold <= 0 {
+		bc.Breaker.Threshold = 1
+	}
 	if bc.Size <= 0 {
 		bc.Size = 8
 	}
@@ -118,6 +127,10 @@ type batcher struct {
 	window time.Duration
 	adm    *admitter
 	met    *serverMetrics
+	// brk gates the coalesced evaluation path: while open, flushes skip
+	// coalescing and run every member through the degraded per-member
+	// path; a half-open probe batch tests recovery.
+	brk *breaker
 
 	mu       sync.Mutex
 	pending  []*batchMember
@@ -148,6 +161,7 @@ func newBatcher(bc BatchConfig, ctx *hecnn.Context, cb *hecnn.CompiledBatched, a
 		window: bc.Window,
 		adm:    adm,
 		met:    met,
+		brk:    newBreaker(bc.Breaker),
 		wake:   make(chan struct{}, 1),
 		stopc:  make(chan struct{}),
 		done:   make(chan struct{}),
@@ -320,31 +334,77 @@ func (b *batcher) flush(reason flushReason) {
 	for i, m := range members {
 		cts[i] = m.cts
 	}
-	var outs []*hecnn.CT
-	var err error
-	evalStart := time.Now()
-	if b.evalHook != nil {
-		outs, err = b.evalHook(cts)
-	} else {
-		outs, _, err = b.cb.EvaluateBatch(b.ctx, cts)
-	}
-	// Feed the deadline-pressure estimate: jump straight up on an
-	// underestimate, decay gently (¾ old + ¼ observed) on an overestimate.
-	if obs := int64(time.Since(evalStart)); obs > b.evalEst.Load() {
-		b.evalEst.Store(obs)
-	} else {
-		b.evalEst.Store((3*b.evalEst.Load() + obs) / 4)
-	}
-	if err != nil {
-		we := &wireError{StatusInternal, fmt.Sprintf("batched evaluation: %v", err)}
-		for _, m := range members {
-			m.result <- batchOutcome{err: we}
+	// The degradation ladder: coalesced evaluation while the breaker
+	// admits it (a half-open probe batch tests recovery), otherwise — and
+	// after any coalesced failure — every member re-runs individually.
+	// Coalescing is an optimization; its failure must cost amortization,
+	// not answers.
+	if b.brk.allow() {
+		evalStart := time.Now()
+		outs, err := b.evalMembers(cts)
+		// Feed the deadline-pressure estimate: jump straight up on an
+		// underestimate, decay gently (¾ old + ¼ observed) on an
+		// overestimate. Only true coalesced evaluations feed it — degraded
+		// per-member timings would poison the batch-shaped estimate.
+		if obs := int64(time.Since(evalStart)); obs > b.evalEst.Load() {
+			b.evalEst.Store(obs)
+		} else {
+			b.evalEst.Store((3*b.evalEst.Load() + obs) / 4)
 		}
-		return
+		if err == nil {
+			b.brk.onSuccess()
+			b.met.setBatchBreaker(b.brk.currentState())
+			for i, m := range members {
+				m.result <- batchOutcome{outs: outs, slot: i}
+			}
+			return
+		}
+		b.brk.onFailure()
 	}
-	for i, m := range members {
-		m.result <- batchOutcome{outs: outs, slot: i}
+	b.met.setBatchBreaker(b.brk.currentState())
+	b.degrade(members)
+}
+
+// evalMembers runs one batched evaluation with panic isolation: a panic
+// deep in the HE pipeline (or an injected test hook) surfaces as an error
+// instead of killing the scheduler goroutine — the pre-breaker behaviour
+// was a process-fatal panic on exactly this path.
+func (b *batcher) evalMembers(cts [][]*hecnn.CT) (outs []*hecnn.CT, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, err = nil, fmt.Errorf("evaluation panic: %v", r)
+		}
+	}()
+	if b.evalHook != nil {
+		return b.evalHook(cts)
 	}
+	outs, _, err = b.cb.EvaluateBatch(b.ctx, cts)
+	return outs, err
+}
+
+// degrade recovers a batch whose coalesced evaluation failed or whose
+// breaker is refusing coalescing: each claimed member re-runs through an
+// occupancy-1 evaluation on the same batch ring (zero combine rotations —
+// hecnn's per-request degenerate case), so one poisoned member or a bug
+// in the combine path fails at most its own request. Members whose budget
+// already expired are refused with StatusBusy instead of being evaluated
+// dead — their handler gave up waiting and nobody will read the logits.
+func (b *batcher) degrade(members []*batchMember) {
+	recovered := 0
+	for _, m := range members {
+		if !time.Now().Before(m.deadline) {
+			m.result <- batchOutcome{err: &wireError{StatusBusy, "request budget expired during degraded batch recovery"}}
+			continue
+		}
+		outs, err := b.evalMembers([][]*hecnn.CT{m.cts})
+		if err != nil {
+			m.result <- batchOutcome{err: &wireError{StatusInternal, fmt.Sprintf("degraded evaluation: %v", err)}}
+			continue
+		}
+		recovered++
+		m.result <- batchOutcome{outs: outs, slot: 0}
+	}
+	b.met.observeDegraded(recovered)
 }
 
 // failPending delivers we to every still-unclaimed pending member.

@@ -1,0 +1,254 @@
+package mlaas
+
+// Chaos harness: a two-server failover topology driven through faultnet
+// fault schedules — response corruption, mid-request resets, slow-drip
+// links, killed servers, and breaker recovery. The invariant under every
+// schedule is absolute: with one healthy replica in the set, every
+// request must end in digest-correct logits (faults are absorbed by
+// failover, hedging, CRC detection, and the circuit breakers) or — never
+// here, since a healthy replica exists — exactly one typed error.
+//
+// Each test logs one outcome-table row; the nightly chaos job runs this
+// file with -race and FXHENN_HAMMER_ITERS and archives the output.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fxhenn/internal/faultnet"
+	"fxhenn/internal/hecnn"
+)
+
+// chaosIters scales the per-schedule iteration count: 2 in the tier-1
+// suite, FXHENN_HAMMER_ITERS times that in the nightly hammer.
+func chaosIters() int { return 2 * hammerScale() }
+
+// faultyEndpoint wraps every dialed connection in a faultnet injector;
+// seeds vary per dial so corruption masks differ across attempts.
+func faultyEndpoint(base Endpoint, cfg faultnet.Config) Endpoint {
+	var dials atomic.Int64
+	return Endpoint{Name: base.Name, Dial: func(ctx context.Context) (net.Conn, error) {
+		conn, err := base.Dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed += dials.Add(1)
+		return faultnet.New(conn, c), nil
+	}}
+}
+
+// runChaos hammers InferHedged over eps and requires every iteration to
+// produce logits matching the plaintext network within tolerance.
+func runChaos(t *testing.T, fl *fleetFixture, cl *Client, eps []Endpoint, p FailoverPolicy, seed int64) int {
+	t.Helper()
+	iters := chaosIters()
+	for i := 0; i < iters; i++ {
+		img := randomImage(seed + int64(i))
+		want := fl.pnet.Infer(img)
+		got, err := cl.InferHedged(context.Background(), eps, img, p)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-2 {
+				t.Fatalf("iteration %d: logit %d: %g vs %g", i, j, got[j], want[j])
+			}
+		}
+	}
+	return iters
+}
+
+// logChaosRow emits one line of the outcome table the nightly job
+// archives.
+func logChaosRow(t *testing.T, schedule string, cl *Client, iters int) {
+	t.Helper()
+	t.Logf("chaos outcome | schedule=%-18s iters=%-3d ok=%-3d retries=%-2d hedges=%-2d s0=%-9s s1=%s",
+		schedule, iters, iters, cl.Retries, cl.Hedges,
+		cl.EndpointBreakerState("s0"), cl.EndpointBreakerState("s1"))
+}
+
+// TestChaosCorruptResponse: every byte stream from s0 corrupts inside the
+// response payload. The FrameCheck client turns silent damage into a
+// typed ErrFrameCorrupt and fails over to the clean replica — corruption
+// must cost a retry, never a wrong answer.
+func TestChaosCorruptResponse(t *testing.T) {
+	fl := newFleet(t, Config{}, Config{})
+	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 200)
+	cl.FrameCheck = true
+	eps := []Endpoint{
+		faultyEndpoint(fl.endpoint(0), faultnet.Config{Seed: 201, CorruptReadAt: 30, CorruptBytes: 8}),
+		fl.endpoint(1),
+	}
+	iters := runChaos(t, fl, cl, eps, fastPolicy(), 210)
+	logChaosRow(t, "corrupt-response", cl, iters)
+}
+
+// TestChaosResetMidRequest: s0 resets the connection partway through the
+// request upload — no response bytes ever arrive, so the failure is
+// cleanly retryable and the round fails over.
+func TestChaosResetMidRequest(t *testing.T) {
+	fl := newFleet(t, Config{}, Config{})
+	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 220)
+	eps := []Endpoint{
+		faultyEndpoint(fl.endpoint(0), faultnet.Config{Seed: 221, ResetAfterWrites: 100}),
+		fl.endpoint(1),
+	}
+	iters := runChaos(t, fl, cl, eps, fastPolicy(), 230)
+	logChaosRow(t, "reset-mid-request", cl, iters)
+}
+
+// TestChaosSlowDrip: s0 leaks the response one byte per 250ms — never
+// failing, just unusably slow. The timed hedge routes around it; the
+// abandoned attempt must release its half-open probes instead of wedging
+// the breaker.
+func TestChaosSlowDrip(t *testing.T) {
+	fl := newFleet(t, Config{}, Config{})
+	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 240)
+	p := fastPolicy()
+	p.Hedge = true
+	p.HedgeInitial = 100 * time.Millisecond
+	eps := []Endpoint{
+		faultyEndpoint(fl.endpoint(0), faultnet.Config{Seed: 241, DripReads: 250 * time.Millisecond}),
+		fl.endpoint(1),
+	}
+	iters := runChaos(t, fl, cl, eps, p, 250)
+	if cl.Hedges == 0 {
+		t.Fatal("slow-drip schedule completed without a single hedge")
+	}
+	logChaosRow(t, "slow-drip", cl, iters)
+}
+
+// TestChaosServerKill: s0 dies (listener closed) after one healthy
+// exchange; every later dial is refused and fails over inside the round.
+func TestChaosServerKill(t *testing.T) {
+	fl := newFleet(t, Config{}, Config{})
+	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 260)
+	eps := []Endpoint{fl.endpoint(0), fl.endpoint(1)}
+
+	// One healthy exchange first, so the kill lands on a warm path.
+	img := randomImage(261)
+	if _, err := cl.InferHedged(context.Background(), eps, img, fastPolicy()); err != nil {
+		t.Fatalf("pre-kill exchange: %v", err)
+	}
+	fl.ls[0].Close()
+
+	iters := runChaos(t, fl, cl, eps, fastPolicy(), 270)
+	logChaosRow(t, "server-kill", cl, iters)
+}
+
+// TestChaosBreakerRecovery: s0 is down long enough to trip its breaker
+// (threshold 1), the fleet keeps answering via s1, and once s0 heals the
+// half-open probe finds it and the breaker closes — traffic returns.
+func TestChaosBreakerRecovery(t *testing.T) {
+	fl := newFleet(t, Config{}, Config{})
+	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 280)
+
+	var healthy atomic.Bool
+	base := fl.endpoint(0)
+	flaky := Endpoint{Name: base.Name, Dial: func(ctx context.Context) (net.Conn, error) {
+		if !healthy.Load() {
+			return nil, errors.New("injected: endpoint down")
+		}
+		return base.Dial(ctx)
+	}}
+	p := fastPolicy()
+	p.Breaker = BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond, Jitter: 0.01, Seed: 8}
+	eps := []Endpoint{flaky, fl.endpoint(1)}
+
+	// Down phase: first call trips s0's breaker, later calls skip it.
+	iters := runChaos(t, fl, cl, eps, p, 290)
+	if st := cl.EndpointBreakerState("s0"); st != "open" {
+		t.Fatalf("s0 breaker after down phase = %s, want open", st)
+	}
+
+	// Heal, outlive the cooldown, and the probe must readmit s0.
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	iters += runChaos(t, fl, cl, eps, p, 300)
+	if st := cl.EndpointBreakerState("s0"); st != "closed" {
+		t.Fatalf("s0 breaker after recovery = %s, want closed", st)
+	}
+	logChaosRow(t, "breaker-recovery", cl, iters)
+}
+
+// TestChaosBatchDegradation hammers the batch degradation ladder over the
+// real wire: the coalesced evaluation fails on alternating flushes, and
+// every batched request — coalesced or degraded — must still decrypt
+// correct logits.
+func TestChaosBatchDegradation(t *testing.T) {
+	fx := newBatchFixture(t, Config{MaxConcurrent: 2}, 2, time.Hour)
+	fx.server.bat.brk = newBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Millisecond, Jitter: 0.01, Seed: 12})
+	bat := fx.server.bat
+	var coalescedCalls atomic.Int32
+	bat.evalHook = func(cts [][]*hecnn.CT) ([]*hecnn.CT, error) {
+		if len(cts) > 1 && coalescedCalls.Add(1)%2 == 1 {
+			return nil, errInjected
+		}
+		outs, _, err := bat.cb.EvaluateBatch(bat.ctx, cts)
+		return outs, err
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go fx.server.Serve(l) //nolint:errcheck
+
+	waves := chaosIters()
+	for wave := 0; wave < waves; wave++ {
+		imgs := []int64{int64(310 + 2*wave), int64(311 + 2*wave)}
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i, seed := range imgs {
+			wg.Add(1)
+			go func(i int, seed int64) {
+				defer wg.Done()
+				img := randomImage(seed)
+				want := fx.pnet.Infer(img)
+				bc := fx.batchClient(seed)
+				conn, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer conn.Close()
+				got, err := bc.Infer(context.Background(), conn, img)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for j := range want {
+					if math.Abs(got[j]-want[j]) > 1e-2 {
+						errs[i] = errLogitMismatch
+						return
+					}
+				}
+			}(i, seed)
+		}
+		wg.Wait()
+		for i, werr := range errs {
+			if werr != nil {
+				t.Fatalf("wave %d client %d: %v", wave, i, werr)
+			}
+		}
+		// Let the breaker's cooldown elapse so the next wave probes the
+		// coalesced path again instead of degrading forever.
+		time.Sleep(20 * time.Millisecond)
+	}
+	if coalescedCalls.Load() == 0 {
+		t.Fatal("fault injector never saw a coalesced evaluation")
+	}
+	t.Logf("chaos outcome | schedule=%-18s iters=%-3d ok=%-3d coalesced-calls=%d batch-breaker=%s",
+		"batch-degradation", 2*waves, 2*waves, coalescedCalls.Load(), bat.brk.currentState())
+}
+
+// errLogitMismatch keeps the wave goroutines' failure reporting simple.
+var errLogitMismatch = errors.New("logits outside tolerance")

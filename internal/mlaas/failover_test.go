@@ -1,0 +1,364 @@
+package mlaas
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fxhenn/internal/faultnet"
+)
+
+// fleetFixture serves the same compiled network — same key material — on
+// several listeners, the replica topology InferHedged expects.
+type fleetFixture struct {
+	*fixture
+	servers []*Server
+	ls      []net.Listener
+}
+
+// newFleet starts one server per config, all sharing the base fixture's
+// keys. Config index 0 may reuse the fixture's default server.
+func newFleet(t testing.TB, cfgs ...Config) *fleetFixture {
+	t.Helper()
+	fx := newFixture(t)
+	fl := &fleetFixture{fixture: fx}
+	for i, cfg := range cfgs {
+		s := fx.server
+		if i > 0 || cfg != (Config{}) {
+			s = NewServerWithConfig(fx.params, fx.henet, fx.rlk, fx.rtk, cfg)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(l) //nolint:errcheck
+		fl.servers = append(fl.servers, s)
+		fl.ls = append(fl.ls, l)
+		t.Cleanup(func() { l.Close() })
+	}
+	return fl
+}
+
+func (fl *fleetFixture) endpoint(i int) Endpoint {
+	return TCPEndpoint(fmt.Sprintf("s%d", i), fl.ls[i].Addr().String())
+}
+
+// deadEndpoint points at a port that refuses connections.
+func deadEndpoint(t testing.TB, name string) Endpoint {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return TCPEndpoint(name, addr)
+}
+
+// fastPolicy keeps failover tests quick: no real sleeping between rounds.
+func fastPolicy() FailoverPolicy {
+	return FailoverPolicy{
+		Retry: RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			Seed:        5,
+			Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+		},
+	}
+}
+
+// TestInferHedgedHealthy: with one healthy endpoint the hedged client is
+// just Infer — correct logits, no retries, no hedges.
+func TestInferHedgedHealthy(t *testing.T) {
+	fl := newFleet(t, Config{})
+	img := randomImage(61)
+	want := fl.pnet.Infer(img)
+	got, err := fl.client.InferHedged(context.Background(), []Endpoint{fl.endpoint(0)}, img, fastPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-2 {
+			t.Fatalf("logit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if fl.client.Retries != 0 || fl.client.Hedges != 0 {
+		t.Fatalf("healthy path counted retries=%d hedges=%d, want 0/0", fl.client.Retries, fl.client.Hedges)
+	}
+	if st := fl.client.EndpointBreakerState("s0"); st != "closed" {
+		t.Fatalf("breaker state = %s, want closed", st)
+	}
+}
+
+// TestInferHedgedFailsOver: a dead primary fails over to the healthy
+// secondary inside the round — the answer is correct and the dead
+// endpoint's failure is recorded on its breaker, not the healthy one's.
+func TestInferHedgedFailsOver(t *testing.T) {
+	fl := newFleet(t, Config{})
+	dead := deadEndpoint(t, "dead")
+	img := randomImage(62)
+	want := fl.pnet.Infer(img)
+	got, err := fl.client.InferHedged(context.Background(), []Endpoint{dead, fl.endpoint(0)}, img, fastPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-2 {
+			t.Fatalf("logit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if st := fl.client.EndpointBreakerState("s0"); st != "closed" {
+		t.Fatalf("healthy endpoint breaker = %s, want closed", st)
+	}
+}
+
+// TestInferHedgedBreakerSkipsOpenEndpoint: once an endpoint's breaker
+// trips, later calls stop dialing it entirely until the cooldown.
+func TestInferHedgedBreakerSkipsOpenEndpoint(t *testing.T) {
+	fl := newFleet(t, Config{})
+	var deadDials atomic.Int64
+	dead := deadEndpoint(t, "dead")
+	countingDead := Endpoint{Name: "dead", Dial: func(ctx context.Context) (net.Conn, error) {
+		deadDials.Add(1)
+		return dead.Dial(ctx)
+	}}
+	p := fastPolicy()
+	p.Breaker = BreakerConfig{Threshold: 1, Cooldown: time.Hour, Seed: 2}
+	eps := []Endpoint{countingDead, fl.endpoint(0)}
+
+	for call := 0; call < 3; call++ {
+		if _, err := fl.client.InferHedged(context.Background(), eps, randomImage(int64(70+call)), p); err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+	}
+	// Call 0 dials the dead endpoint once and trips its breaker; calls 1-2
+	// must skip it (the hour-long cooldown cannot have elapsed).
+	if n := deadDials.Load(); n != 1 {
+		t.Fatalf("dead endpoint dialed %d times, want exactly 1", n)
+	}
+	if st := fl.client.EndpointBreakerState("dead"); st != "open" {
+		t.Fatalf("dead endpoint breaker = %s, want open", st)
+	}
+}
+
+// TestInferHedgedAllBreakersOpen: with every breaker open and a cooldown
+// longer than the retry budget, InferHedged fails typed — and fast.
+func TestInferHedgedAllBreakersOpen(t *testing.T) {
+	fl := newFleet(t, Config{})
+	p := fastPolicy()
+	p.Breaker = BreakerConfig{Threshold: 1, Cooldown: time.Hour, Seed: 2}
+	dead := deadEndpoint(t, "dead")
+	// Trip the only endpoint's breaker, then call again.
+	_, err := fl.client.InferHedged(context.Background(), []Endpoint{dead}, randomImage(75), p)
+	if err == nil {
+		t.Fatal("dead fleet succeeded")
+	}
+	_, err = fl.client.InferHedged(context.Background(), []Endpoint{dead}, randomImage(76), p)
+	if !errors.Is(err, ErrAllBreakersOpen) {
+		t.Fatalf("err = %v, want ErrAllBreakersOpen", err)
+	}
+}
+
+// badRequestEndpoint emulates a server refusing every request as
+// malformed: the client must stop immediately instead of burning rounds.
+func badRequestEndpoint(name string) Endpoint {
+	return Endpoint{Name: name, Dial: func(ctx context.Context) (net.Conn, error) {
+		cli, srv := net.Pipe()
+		// The pipe is unbuffered: the request must drain concurrently with
+		// the refusal or both ends deadlock.
+		go io.Copy(io.Discard, srv) //nolint:errcheck
+		go func() {
+			msg := "emulated refusal"
+			var hdr [5]byte
+			hdr[0] = byte(StatusBadRequest)
+			binary.LittleEndian.PutUint32(hdr[1:], uint32(len(msg)))
+			srv.Write(hdr[:])        //nolint:errcheck
+			io.WriteString(srv, msg) //nolint:errcheck
+		}()
+		return cli, nil
+	}}
+}
+
+// TestInferHedgedTerminalBadRequest: a typed bad-request is terminal —
+// no failover, no retries, the error surfaces unwrapped.
+func TestInferHedgedTerminalBadRequest(t *testing.T) {
+	fl := newFleet(t, Config{})
+	var healthyDials atomic.Int64
+	healthy := fl.endpoint(0)
+	counting := Endpoint{Name: healthy.Name, Dial: func(ctx context.Context) (net.Conn, error) {
+		healthyDials.Add(1)
+		return healthy.Dial(ctx)
+	}}
+	_, err := fl.client.InferHedged(context.Background(),
+		[]Endpoint{badRequestEndpoint("bad"), counting}, randomImage(77), fastPolicy())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusBadRequest {
+		t.Fatalf("err = %v, want StatusBadRequest", err)
+	}
+	if n := healthyDials.Load(); n != 0 {
+		t.Fatalf("terminal failure still dialed the secondary %d times", n)
+	}
+	if fl.client.Retries != 0 {
+		t.Fatalf("terminal failure counted %d retries", fl.client.Retries)
+	}
+}
+
+// blackholeEndpoint accepts the request and never answers — the slow
+// replica a hedge exists to route around.
+func blackholeEndpoint(name string) Endpoint {
+	return Endpoint{Name: name, Dial: func(ctx context.Context) (net.Conn, error) {
+		cli, srv := net.Pipe()
+		go io.Copy(io.Discard, srv) //nolint:errcheck
+		go func() {
+			<-ctx.Done()
+			srv.Close()
+		}()
+		return cli, nil
+	}}
+}
+
+// TestInferHedgedHedgeFires: the primary swallows the request; after the
+// hedge delay a second attempt against the healthy replica wins.
+func TestInferHedgedHedgeFires(t *testing.T) {
+	fl := newFleet(t, Config{})
+	p := fastPolicy()
+	p.Hedge = true
+	p.HedgeInitial = 50 * time.Millisecond
+	img := randomImage(63)
+	want := fl.pnet.Infer(img)
+	got, err := fl.client.InferHedged(context.Background(),
+		[]Endpoint{blackholeEndpoint("slow"), fl.endpoint(0)}, img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-2 {
+			t.Fatalf("logit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if fl.client.Hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", fl.client.Hedges)
+	}
+}
+
+// TestLatencyWindowQuantile pins the ring-buffer quantile arithmetic.
+func TestLatencyWindowQuantile(t *testing.T) {
+	var w latencyWindow
+	if _, ok := w.quantile(0.9); ok {
+		t.Fatal("empty window produced a quantile")
+	}
+	for i := 1; i <= 10; i++ {
+		w.add(time.Duration(i) * time.Millisecond)
+	}
+	if q, _ := w.quantile(0.5); q != 6*time.Millisecond {
+		t.Fatalf("p50 of 1..10ms = %v, want 6ms", q)
+	}
+	if q, _ := w.quantile(1.0); q != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, want 10ms", q)
+	}
+	// Overflow the ring: only the newest latencyWindowSize samples count.
+	for i := 0; i < latencyWindowSize; i++ {
+		w.add(time.Second)
+	}
+	if q, _ := w.quantile(0.0); q != time.Second {
+		t.Fatalf("min after overwrite = %v, want 1s", q)
+	}
+}
+
+// TestRetryableMidExchangeDeadline is the regression test for the
+// InferRetry fix: a server that stalls after the status byte leaves the
+// client mid-response when its read deadline trips. That used to be a
+// terminal Partial transport error; it must now be retryable, and a
+// retry against a healthy connection must succeed.
+func TestRetryableMidExchangeDeadline(t *testing.T) {
+	fx := newFixture(t)
+	fx.client.Timeout = 150 * time.Millisecond
+
+	dials := 0
+	dial := func(ctx context.Context) (net.Conn, error) {
+		dials++
+		cliConn, srvConn := net.Pipe()
+		wrapped := srvConn
+		faulty := dials == 1
+		go func() {
+			if faulty {
+				// Deliver the status byte (first 1-byte write), stall the
+				// ciphertext: the client is now mid-response.
+				fc := faultnet.New(srvConn, faultnet.Config{Seed: 13, StallAfterWrites: 1})
+				defer fc.Close()
+				fx.server.Handle(fc)
+				return
+			}
+			defer wrapped.Close()
+			fx.server.Handle(wrapped)
+		}()
+		return cliConn, nil
+	}
+
+	img := randomImage(64)
+	want := fx.pnet.Infer(img)
+
+	// First, pin the error classification itself.
+	conn, err := dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fx.client.Infer(context.Background(), conn, img)
+	conn.Close()
+	var te *TransportError
+	if !errors.As(err, &te) || !te.Partial {
+		t.Fatalf("err = %v, want a Partial transport error", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("mid-exchange deadline not retryable: %v", err)
+	}
+
+	// Then the end-to-end contract: InferRetry rides through it.
+	dials = 0
+	got, err := fx.client.InferRetry(context.Background(), dial, img, RetryPolicy{
+		MaxAttempts: 3,
+		Seed:        6,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+	})
+	if err != nil {
+		t.Fatalf("InferRetry: %v", err)
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2 (one stalled, one clean)", dials)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-2 {
+			t.Fatalf("logit %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRetryAfterHintStretchesBackoff: a busy refusal carrying a hint
+// makes InferRetry wait at least the hint, not the (shorter) jittered
+// backoff.
+func TestRetryAfterHintStretchesBackoff(t *testing.T) {
+	err := &StatusError{Code: StatusBusy, Msg: withRetryAfterHint("server at capacity", 250*time.Millisecond)}
+	hint, ok := RetryAfterHint(err)
+	if !ok || hint != 250*time.Millisecond {
+		t.Fatalf("hint = %v/%v, want 250ms/true", hint, ok)
+	}
+	// Absent or malformed suffixes parse as no hint.
+	if _, ok := RetryAfterHint(&StatusError{Code: StatusBusy, Msg: "server at capacity"}); ok {
+		t.Fatal("hintless message produced a hint")
+	}
+	if _, ok := RetryAfterHint(&StatusError{Code: StatusBusy, Msg: "x " + retryAfterToken}); ok {
+		t.Fatal("digitless suffix produced a hint")
+	}
+	// Hostile hints clamp at the cap instead of parking the client.
+	huge := &StatusError{Code: StatusBusy, Msg: "x " + retryAfterToken + "99999999999999999999"}
+	if hint, ok := RetryAfterHint(huge); !ok || hint != maxRetryAfterHint {
+		t.Fatalf("hostile hint = %v/%v, want clamp to %v", hint, ok, maxRetryAfterHint)
+	}
+}

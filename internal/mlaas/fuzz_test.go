@@ -48,6 +48,10 @@ func FuzzServerRequest(f *testing.F) {
 	f.Add(u32(uint32(fx.henet.Layers[0].(*hecnn.ConvPacked).NumPositions())))
 	f.Add(u32(batchMagic))
 	f.Add(u32(batchMagic, 0))
+	f.Add(u32(crcMagic))
+	f.Add(u32(crcMagic, crcMagic))
+	f.Add(u32(crcMagic, batchMagic))
+	f.Add(u32(crcMagic, batchMagic, uint32(fx.bnet.InputSize())))
 	f.Add(u32(batchMagic, uint32(fx.bnet.InputSize())))
 	f.Add(append(u32(batchMagic, uint32(fx.bnet.InputSize())), validCT...))
 	f.Add(append(u32(batchMagic, uint32(fx.bnet.InputSize())), validCT[:len(validCT)/2]...))

@@ -1,0 +1,41 @@
+package mlaas
+
+// Health endpoints: the /healthz + /readyz pair load balancers and
+// orchestrators poll. Liveness (/healthz) answers ok for as long as the
+// process can serve HTTP at all; readiness (/readyz) flips to 503 the
+// moment Shutdown begins draining, so a rolling deploy stops routing new
+// traffic to a replica whose listener is still accepting connections
+// only to refuse them with StatusShuttingDown.
+
+import (
+	"io"
+	"net/http"
+)
+
+// Healthz is the liveness handler: 200 while the process is up.
+func (s *Server) Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+// Readyz is the readiness handler: 200 while the server admits requests,
+// 503 once a drain has begun.
+func (s *Server) Readyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n") //nolint:errcheck
+}
+
+// RegisterHealth mounts the health pair on mux — typically the telemetry
+// mux, so one scrape target carries metrics, pprof, and health.
+func (s *Server) RegisterHealth(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", s.Healthz)
+	mux.HandleFunc("/readyz", s.Readyz)
+}

@@ -117,6 +117,15 @@ type Config struct {
 	// is bit-exact with serial evaluation.
 	Workers int
 
+	// ShedEWMA enables deadline-aware load shedding (shed.go): the value
+	// is the smoothing factor α ∈ (0,1] of an EWMA over observed
+	// evaluation latency, and a request whose projected completion (load
+	// ahead × EWMA ÷ slots, plus its own evaluation) already misses its
+	// budget is refused at the door with StatusBusy and a retry-after
+	// hint instead of timing out in the queue. 0 (the default) disables
+	// shedding and keeps busy messages hint-free.
+	ShedEWMA float64
+
 	// Batch, when non-nil, enables cross-request batched serving: batched
 	// requests park in a scheduler that coalesces them into one
 	// position-major BatchedNetwork evaluation per flush (see batch.go).
@@ -172,6 +181,7 @@ type Server struct {
 	ctx    *hecnn.Context
 	cfg    Config
 	adm    *admitter
+	shed   *shedder // nil unless Config.ShedEWMA > 0
 	pool   *parallel.Pool
 	// compiled is the warmed serve-path cache of encoded weight
 	// plaintexts; nil when Config.CacheBytes < 0, in which case every
@@ -238,6 +248,9 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drained:   make(chan struct{}),
+	}
+	if cfg.ShedEWMA > 0 {
+		s.shed = newShedder(cfg.ShedEWMA, cfg.MaxConcurrent)
 	}
 	if cfg.CacheBytes >= 0 {
 		// Pre-encode every weight/bias plaintext at the exact levels and
@@ -460,6 +473,24 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 	// The request budget starts at arrival: time spent waiting in the
 	// admission queue is the client's time too.
 	deadline := time.Now().Add(s.cfg.RequestBudget)
+	if s.shed != nil {
+		// Deadline-aware shedding: refuse now — with a hint — rather than
+		// let a request wait out a budget its projected completion already
+		// misses. The projection needs latency evidence, so a cold server
+		// never sheds.
+		busy, queued := s.adm.load()
+		if hint, ok := s.shed.shouldAdmit(time.Now(), deadline, busy, queued); !ok {
+			s.mu.Lock()
+			s.stats.Rejected++
+			s.mu.Unlock()
+			s.met.observeShed()
+			s.outcome(rt, StatusBusy)
+			msg := fmt.Sprintf("req %d: shed: projected completion exceeds the request budget (%d busy, %d queued)",
+				reqID, busy, queued)
+			s.writeFailure(trw, StatusBusy, withRetryAfterHint(msg, hint))
+			return true
+		}
+	}
 	wait, decision := s.adm.acquire(deadline)
 	if decision != admitOK {
 		s.mu.Lock()
@@ -470,6 +501,13 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 			reqID, s.cfg.MaxConcurrent, s.adm.queued())
 		if decision == admitDeadline {
 			msg = fmt.Sprintf("req %d: request budget exhausted after %v in the admission queue", reqID, wait.Round(time.Millisecond))
+		}
+		if s.shed != nil {
+			// With shedding on, every busy refusal carries a hint; the
+			// default configuration keeps these messages byte-identical to
+			// the pre-hint wire traffic.
+			busy, queued := s.adm.load()
+			msg = withRetryAfterHint(msg, s.shed.retryAfter(busy, queued))
 		}
 		s.writeFailure(trw, StatusBusy, msg)
 		return true
@@ -533,8 +571,19 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
 	}
 	raw := binary.LittleEndian.Uint32(cntBuf[:])
+	// crcMagic advertises CRC framing (frame.go): the success response gets
+	// a CRC32 trailer. Like batchMagic it reads as a hostile count on old
+	// servers, so the negotiation needs no version field. The magic may
+	// precede either framing — [crc][count] or [crc][batch][count].
+	crc := raw == crcMagic
+	if crc {
+		if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
+		}
+		raw = binary.LittleEndian.Uint32(cntBuf[:])
+	}
 	if raw == batchMagic && s.bat != nil {
-		return s.serveBatched(rw, rt, phaseStart, releaseSlot)
+		return s.serveBatched(rw, rt, phaseStart, releaseSlot, crc)
 	}
 	count := int(raw)
 	// Reject a hostile count before comparing against the model shape or
@@ -573,6 +622,7 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 	if s.testEvalHook != nil {
 		s.testEvalHook()
 	}
+	evalStart := time.Now()
 	var out *hecnn.CT
 	if rt != nil {
 		// Traced path: a per-request recorder feeds the tracer so the
@@ -591,12 +641,25 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 	} else {
 		out = s.net.EvaluateEncrypted(s.backend(nil), cts)
 	}
+	if s.shed != nil {
+		s.shed.observe(time.Since(evalStart))
+		s.met.setEvalEWMA(s.shed.estimate())
+	}
 
-	if _, err := rw.Write([]byte{byte(StatusOK)}); err != nil {
+	var w io.Writer = rw
+	var cw *crcWriter
+	if crc {
+		cw = newCRCWriter(rw)
+		w = cw
+	}
+	if _, err := w.Write([]byte{byte(StatusOK)}); err != nil {
 		return nil // client gone; nothing to report
 	}
-	if _, err := out.Ciphertext().WriteTo(rw); err != nil {
+	if _, err := out.Ciphertext().WriteTo(w); err != nil {
 		return nil
+	}
+	if crc {
+		writeTrailer(rw, cw.h.Sum32()) //nolint:errcheck // peer may be gone
 	}
 	rt.timePhase(phaseEncode, time.Since(phaseStart))
 	s.mu.Lock()
@@ -612,7 +675,7 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 // whole batches under one evaluation slot; a member whose budget expires
 // while parked claims itself away from the next flush and is refused
 // with StatusBusy, never stalling the batch.
-func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, releaseSlot func()) error {
+func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, releaseSlot func(), crc bool) error {
 	bnet := s.bat.net
 	var cntBuf [4]byte
 	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
@@ -684,17 +747,26 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 		return out.err
 	}
 
+	var w io.Writer = rw
+	var cw *crcWriter
+	if crc {
+		cw = newCRCWriter(rw)
+		w = cw
+	}
 	var hdr [9]byte
 	hdr[0] = byte(StatusOK)
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(out.slot))
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(out.outs)))
-	if _, err := rw.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return nil // client gone; nothing to report
 	}
 	for _, ct := range out.outs {
-		if _, err := ct.Ciphertext().WriteTo(rw); err != nil {
+		if _, err := ct.Ciphertext().WriteTo(w); err != nil {
 			return nil
 		}
+	}
+	if crc {
+		writeTrailer(rw, cw.h.Sum32()) //nolint:errcheck // peer may be gone
 	}
 	rt.timePhase(phaseEncode, time.Since(phaseStart))
 	s.mu.Lock()
@@ -794,11 +866,28 @@ type Client struct {
 	// Infer additionally caps the whole exchange.
 	Timeout time.Duration
 
+	// FrameCheck opts the client into CRC-framed responses (frame.go):
+	// requests are prefixed with crcMagic and success responses must carry
+	// a matching CRC32 trailer, turning silently corrupted logits into a
+	// typed, retryable ErrFrameCorrupt. Servers predating the framing
+	// refuse the magic with a typed bad-request, so leave this off when
+	// talking to old servers.
+	FrameCheck bool
+
 	// BytesSent / BytesReceived accumulate wire traffic; Retries counts
-	// re-dials performed by InferRetry.
+	// extra attempts performed by InferRetry and InferHedged; Hedges
+	// counts hedged second attempts InferHedged fired.
 	BytesSent     int64
 	BytesReceived int64
 	Retries       int
+	Hedges        int
+
+	// Failover state (failover.go): per-endpoint circuit breakers and the
+	// latency window behind the quantile-derived hedge delay. Guarded by
+	// foMu; lazily initialized on the first InferHedged call.
+	foMu       sync.Mutex
+	foBreakers map[string]*breaker
+	foLat      latencyWindow
 }
 
 // NewClient builds the client side from the key material.
@@ -831,54 +920,128 @@ func (c *Client) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor)
 	}
 	trw := newTimedRW(conn, c.Timeout, abs)
 
-	packed := c.net.PackInput(img)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(packed)))
-	if _, err := trw.Write(hdr[:]); err != nil {
+	cts := c.encryptRequest(img)
+	sent, err := writeInferRequest(trw, cts, c.FrameCheck)
+	c.BytesSent += sent
+	if err != nil {
 		return nil, &TransportError{Err: err}
 	}
-	c.BytesSent += 4
-	level := c.params.MaxLevel()
-	for _, v := range packed {
-		ct := c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
-		n, err := ct.WriteTo(trw)
-		c.BytesSent += n
-		if err != nil {
-			return nil, &TransportError{Err: err}
-		}
+	out, recv, err := c.readResponse(trw)
+	c.BytesReceived += recv
+	if err != nil {
+		return nil, err
 	}
+	return c.decodeLogits(out), nil
+}
 
-	var status [1]byte
-	if _, err := io.ReadFull(trw, status[:]); err != nil {
-		return nil, &TransportError{Err: err}
+// encryptRequest packs and encrypts the image into the per-position
+// ciphertexts of one request. The encryptor's randomness advances once
+// per call, so re-sending the returned ciphertexts (retry, hedge,
+// failover) reproduces the exchange bit-for-bit.
+func (c *Client) encryptRequest(img *cnn.Tensor) []*ckks.Ciphertext {
+	packed := c.net.PackInput(img)
+	level := c.params.MaxLevel()
+	cts := make([]*ckks.Ciphertext, len(packed))
+	for i, v := range packed {
+		cts[i] = c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
 	}
-	c.BytesReceived++
-	if code := Status(status[0]); code != StatusOK {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(trw, lenBuf[:]); err != nil {
-			return nil, &TransportError{Partial: true, Err: err}
+	return cts
+}
+
+// writeRequest streams one request: the optional crcMagic advertisement,
+// the ciphertext count, then the serialized ciphertexts. Serialization
+// only reads the ciphertexts, so concurrent hedged attempts may stream
+// the same set.
+func writeInferRequest(w io.Writer, cts []*ckks.Ciphertext, frameCheck bool) (int64, error) {
+	var n int64
+	var hdr [8]byte
+	h := hdr[4:]
+	if frameCheck {
+		binary.LittleEndian.PutUint32(hdr[:4], crcMagic)
+		h = hdr[:]
+	}
+	binary.LittleEndian.PutUint32(h[len(h)-4:], uint32(len(cts)))
+	m, err := w.Write(h)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, ct := range cts {
+		mm, err := ct.WriteTo(w)
+		n += mm
+		if err != nil {
+			return n, err
 		}
-		c.BytesReceived += 4
+	}
+	return n, nil
+}
+
+// readResponse consumes one response: a typed status, then either the
+// result ciphertext (plus, under FrameCheck, the CRC32 trailer the
+// server appends for crcMagic requests) or the failure message. It
+// never touches mutable client state, so hedged attempts call it
+// concurrently; decryption stays with the single caller via
+// decodeLogits.
+func (c *Client) readResponse(r io.Reader) (*ckks.Ciphertext, int64, error) {
+	var recv int64
+	src := r
+	var cr *crcReader
+	if c.FrameCheck {
+		cr = newCRCReader(r)
+		src = cr
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(src, status[:]); err != nil {
+		return nil, recv, &TransportError{Err: err}
+	}
+	recv++
+	if code := Status(status[0]); code != StatusOK {
+		// Failure frames never carry a trailer: some refusals are written
+		// before the server has read the request's framing advertisement.
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(src, lenBuf[:]); err != nil {
+			return nil, recv, &TransportError{Partial: true, Err: err}
+		}
+		recv += 4
 		msgLen := binary.LittleEndian.Uint32(lenBuf[:])
 		if msgLen > maxErrorMessageBytes {
-			return nil, &StatusError{Code: code, Msg: "(error message exceeds wire cap)"}
+			return nil, recv, &StatusError{Code: code, Msg: "(error message exceeds wire cap)"}
 		}
 		msg := make([]byte, msgLen)
-		if _, err := io.ReadFull(trw, msg); err != nil {
-			return nil, &TransportError{Partial: true, Err: err}
+		if _, err := io.ReadFull(src, msg); err != nil {
+			return nil, recv, &TransportError{Partial: true, Err: err}
 		}
-		c.BytesReceived += int64(msgLen)
-		return nil, &StatusError{Code: code, Msg: string(msg)}
+		recv += int64(msgLen)
+		return nil, recv, &StatusError{Code: code, Msg: string(msg)}
 	}
-	out, err := ckks.ReadCiphertext(trw, c.params)
+	out, err := ckks.ReadCiphertext(src, c.params)
 	if err != nil {
-		return nil, &TransportError{Partial: true, Err: err}
+		// On a CRC-framed exchange a structural decode failure is
+		// corruption evidence — an honest new server would have produced
+		// a well-formed frame.
+		if c.FrameCheck && errors.Is(err, ckks.ErrMalformed) {
+			err = errFrameCorruptf("%v", err)
+		}
+		return nil, recv, &TransportError{Partial: true, Err: err}
 	}
-	c.BytesReceived += int64(out.SerializedSize())
+	recv += int64(out.SerializedSize())
+	if c.FrameCheck {
+		// Snapshot the payload CRC before consuming the trailer bytes.
+		sum := cr.h.Sum32()
+		if err := readTrailer(r, sum); err != nil {
+			return nil, recv, &TransportError{Partial: true, Err: err}
+		}
+		recv += 8
+	}
+	return out, recv, nil
+}
 
+// decodeLogits decrypts and decodes the result ciphertext. Not safe for
+// concurrent use — callers racing attempts decode only the winner.
+func (c *Client) decodeLogits(out *ckks.Ciphertext) []float64 {
 	logits := c.encoder.Decode(c.decryptor.Decrypt(out))
 	rows := c.net.Layers[len(c.net.Layers)-1].OutElems()
-	return logits[:rows], nil
+	return logits[:rows]
 }
 
 // BatchClient is the client side of cross-request batched serving. It
@@ -898,6 +1061,11 @@ type BatchClient struct {
 
 	// Timeout is the rolling per-read/per-write deadline, as Client's.
 	Timeout time.Duration
+
+	// FrameCheck opts into CRC-framed responses, as Client's: crcMagic
+	// precedes the batch magic on the wire and the success response must
+	// carry a matching CRC32 trailer.
+	FrameCheck bool
 
 	BytesSent     int64
 	BytesReceived int64
@@ -934,13 +1102,18 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 	}
 	trw := newTimedRW(conn, c.Timeout, abs)
 
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], batchMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(packed)))
-	if _, err := trw.Write(hdr[:]); err != nil {
+	var hdr [12]byte
+	h := hdr[4:]
+	if c.FrameCheck {
+		binary.LittleEndian.PutUint32(hdr[:4], crcMagic)
+		h = hdr[:]
+	}
+	binary.LittleEndian.PutUint32(h[len(h)-8:len(h)-4], batchMagic)
+	binary.LittleEndian.PutUint32(h[len(h)-4:], uint32(len(packed)))
+	if _, err := trw.Write(h); err != nil {
 		return nil, &TransportError{Err: err}
 	}
-	c.BytesSent += 8
+	c.BytesSent += int64(len(h))
 	level := c.params.MaxLevel()
 	for _, v := range packed {
 		ct := c.encryptor.Encrypt(c.encoder.Encode(v, level, c.params.Scale))
@@ -951,14 +1124,22 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 		}
 	}
 
+	// Failure frames never carry a trailer (see frame.go); success frames
+	// do when FrameCheck advertised the magic.
+	var src io.Reader = trw
+	var cr *crcReader
+	if c.FrameCheck {
+		cr = newCRCReader(trw)
+		src = cr
+	}
 	var status [1]byte
-	if _, err := io.ReadFull(trw, status[:]); err != nil {
+	if _, err := io.ReadFull(src, status[:]); err != nil {
 		return nil, &TransportError{Err: err}
 	}
 	c.BytesReceived++
 	if code := Status(status[0]); code != StatusOK {
 		var lenBuf [4]byte
-		if _, err := io.ReadFull(trw, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(src, lenBuf[:]); err != nil {
 			return nil, &TransportError{Partial: true, Err: err}
 		}
 		c.BytesReceived += 4
@@ -967,7 +1148,7 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 			return nil, &StatusError{Code: code, Msg: "(error message exceeds wire cap)"}
 		}
 		msg := make([]byte, msgLen)
-		if _, err := io.ReadFull(trw, msg); err != nil {
+		if _, err := io.ReadFull(src, msg); err != nil {
 			return nil, &TransportError{Partial: true, Err: err}
 		}
 		c.BytesReceived += int64(msgLen)
@@ -975,7 +1156,7 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 	}
 
 	var shdr [8]byte
-	if _, err := io.ReadFull(trw, shdr[:]); err != nil {
+	if _, err := io.ReadFull(src, shdr[:]); err != nil {
 		return nil, &TransportError{Partial: true, Err: err}
 	}
 	c.BytesReceived += 8
@@ -992,12 +1173,22 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 	}
 	logits := make([]float64, count)
 	for i := 0; i < count; i++ {
-		out, err := ckks.ReadCiphertext(trw, c.params)
+		out, err := ckks.ReadCiphertext(src, c.params)
 		if err != nil {
+			if c.FrameCheck && errors.Is(err, ckks.ErrMalformed) {
+				err = errFrameCorruptf("%v", err)
+			}
 			return nil, &TransportError{Partial: true, Err: err}
 		}
 		c.BytesReceived += int64(out.SerializedSize())
 		logits[i] = c.encoder.Decode(c.decryptor.Decrypt(out))[slot]
+	}
+	if c.FrameCheck {
+		sum := cr.h.Sum32()
+		if err := readTrailer(trw, sum); err != nil {
+			return nil, &TransportError{Partial: true, Err: err}
+		}
+		c.BytesReceived += 8
 	}
 	return logits, nil
 }

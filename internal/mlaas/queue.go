@@ -99,3 +99,8 @@ func (a *admitter) release() { <-a.slots }
 
 // queued returns the number of requests currently waiting for a slot.
 func (a *admitter) queued() int { return int(a.waiting.Load()) }
+
+// load snapshots the admission picture for the shedder: busy evaluation
+// slots and queued waiters. Both reads are racy by design — shedding is a
+// projection, not an invariant.
+func (a *admitter) load() (busy, queued int) { return len(a.slots), int(a.waiting.Load()) }

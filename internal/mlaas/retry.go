@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	"fxhenn/internal/cnn"
@@ -72,17 +73,34 @@ func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
 }
 
 // Retryable reports whether err can succeed on a fresh attempt: dial
-// failures, transport failures before any response byte, and StatusBusy.
-// Anything after partial response bytes is never retried — the exchange
-// may have half-succeeded and a blind replay could double-evaluate.
+// failures, transport failures before any response byte, StatusBusy, a
+// CRC-detected corrupt response frame, and mid-exchange deadline trips.
+// The deadline and corruption cases are Partial transport errors yet
+// still safe: inference is idempotent and side-effect-free on the
+// server, so re-evaluating a request whose response was cut off or
+// damaged wastes at most one evaluation — it cannot double-apply
+// anything. Every other partial failure is never retried, because the
+// client may already have consumed part of a successful response.
 func Retryable(err error) bool {
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.Code.Retryable()
 	}
+	if errors.Is(err, ErrFrameCorrupt) {
+		return true
+	}
 	var te *TransportError
 	if errors.As(err, &te) {
-		return !te.Partial
+		if !te.Partial {
+			return true
+		}
+		if errors.Is(te.Err, os.ErrDeadlineExceeded) {
+			return true
+		}
+		var ne net.Error
+		if errors.As(te.Err, &ne) && ne.Timeout() {
+			return true
+		}
 	}
 	return false
 }
@@ -98,7 +116,14 @@ func (c *Client) InferRetry(ctx context.Context, dial func(context.Context) (net
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := p.Sleep(ctx, p.backoff(attempt-1, rng)); err != nil {
+			delay := p.backoff(attempt-1, rng)
+			// A shedding server's retry-after hint stretches (never
+			// shortens) the jittered backoff; RetryAfterHint clamps, so a
+			// wild hint cannot park the client for minutes.
+			if hint, ok := RetryAfterHint(lastErr); ok && hint > delay {
+				delay = hint
+			}
+			if err := p.Sleep(ctx, delay); err != nil {
 				return nil, err
 			}
 			c.Retries++

@@ -1,0 +1,98 @@
+package mlaas
+
+// Overload shedding: a deadline-aware admission gate fed by an EWMA of
+// observed evaluation latency. The admission queue (queue.go) converts
+// bursts into waiting; the shedder closes the remaining hole — a request
+// whose projected completion (queue position × EWMA, plus its own
+// evaluation) already misses its budget is refused at the door with
+// StatusBusy and a retry-after hint, instead of occupying a queue slot
+// it is doomed to time out in. The hint rides inside the busy message
+// (status.go), so old clients just see a longer error string while new
+// clients feed it into their backoff.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Retry-after hints are clamped so a single wild EWMA sample (or a
+// hostile server) cannot park clients for minutes.
+const (
+	minRetryAfterHint = 10 * time.Millisecond
+	maxRetryAfterHint = 30 * time.Second
+)
+
+// shedder tracks the evaluation-latency EWMA and makes admission
+// projections. It is pure arithmetic over atomics; metrics are the
+// server's concern.
+type shedder struct {
+	alpha float64 // EWMA smoothing factor in (0,1]
+	slots int     // the server's MaxConcurrent
+	ewma  atomic.Int64
+}
+
+func newShedder(alpha float64, slots int) *shedder {
+	if alpha > 1 {
+		alpha = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return &shedder{alpha: alpha, slots: slots}
+}
+
+// observe folds one completed evaluation into the EWMA. The first sample
+// seeds the average directly.
+func (sh *shedder) observe(d time.Duration) {
+	for {
+		old := sh.ewma.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = int64(sh.alpha*float64(d) + (1-sh.alpha)*float64(old))
+		}
+		if sh.ewma.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// estimate returns the current EWMA (0 until the first sample lands).
+func (sh *shedder) estimate() time.Duration { return time.Duration(sh.ewma.Load()) }
+
+// shouldAdmit projects one request's completion from the load ahead of it
+// (busy evaluation slots plus queued waiters) and reports whether the
+// deadline is reachable; when it is not, retryAfter estimates when
+// capacity will have drained enough for a retry to be worth sending.
+// With no samples yet the gate stays open — shedding needs evidence.
+func (sh *shedder) shouldAdmit(now, deadline time.Time, busy, queued int) (retryAfter time.Duration, ok bool) {
+	est := sh.estimate()
+	if est == 0 {
+		return 0, true
+	}
+	ahead := busy + queued
+	wait := time.Duration(float64(est) * float64(ahead) / float64(sh.slots))
+	if now.Add(wait + est).Before(deadline) {
+		return 0, true
+	}
+	return clampRetryAfter(wait), false
+}
+
+// retryAfter estimates the backoff to suggest on a non-shed busy refusal
+// (queue full, queue deadline): roughly one evaluation per queued wave.
+func (sh *shedder) retryAfter(busy, queued int) time.Duration {
+	est := sh.estimate()
+	if est == 0 {
+		return minRetryAfterHint
+	}
+	return clampRetryAfter(time.Duration(float64(est) * float64(busy+queued) / float64(sh.slots)))
+}
+
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < minRetryAfterHint {
+		return minRetryAfterHint
+	}
+	if d > maxRetryAfterHint {
+		return maxRetryAfterHint
+	}
+	return d
+}

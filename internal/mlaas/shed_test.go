@@ -1,0 +1,261 @@
+package mlaas
+
+// Overload-shedding suite: the projection arithmetic as a unit, the
+// server-level shed refusal with its retry-after hint, hints on ordinary
+// capacity refusals, and the /healthz + /readyz pair.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShedderMath pins the projection: admit while projected completion
+// beats the deadline, shed with a clamped hint once it cannot.
+func TestShedderMath(t *testing.T) {
+	sh := newShedder(0.5, 2)
+	now := time.Unix(2000, 0)
+
+	// Cold shedder: no evidence, never sheds — even under absurd load.
+	if _, ok := sh.shouldAdmit(now, now.Add(time.Millisecond), 100, 100); !ok {
+		t.Fatal("cold shedder shed a request")
+	}
+
+	// First sample seeds the EWMA directly.
+	sh.observe(100 * time.Millisecond)
+	if est := sh.estimate(); est != 100*time.Millisecond {
+		t.Fatalf("estimate after seed = %v, want 100ms", est)
+	}
+	// Second sample folds in at α=0.5: (200+100)/2 = 150ms.
+	sh.observe(200 * time.Millisecond)
+	if est := sh.estimate(); est != 150*time.Millisecond {
+		t.Fatalf("estimate after fold = %v, want 150ms", est)
+	}
+
+	// 2 busy + 1 queued over 2 slots: wait = 150ms*3/2 = 225ms, finish at
+	// 375ms. A 500ms budget admits, a 300ms budget sheds with hint=wait.
+	if _, ok := sh.shouldAdmit(now, now.Add(500*time.Millisecond), 2, 1); !ok {
+		t.Fatal("reachable deadline was shed")
+	}
+	hint, ok := sh.shouldAdmit(now, now.Add(300*time.Millisecond), 2, 1)
+	if ok {
+		t.Fatal("doomed request was admitted")
+	}
+	if hint != 225*time.Millisecond {
+		t.Fatalf("shed hint = %v, want 225ms", hint)
+	}
+
+	// Hints clamp on both ends.
+	if hint, ok := sh.shouldAdmit(now, now, 0, 0); ok || hint != minRetryAfterHint {
+		t.Fatalf("zero-wait shed hint = %v (ok=%v), want clamp to %v", hint, ok, minRetryAfterHint)
+	}
+	sh.observe(10 * time.Hour) // wild sample
+	sh.observe(10 * time.Hour)
+	if hint, ok := sh.shouldAdmit(now, now.Add(time.Second), 2, 0); ok || hint != maxRetryAfterHint {
+		t.Fatalf("wild-EWMA shed hint = %v (ok=%v), want clamp to %v", hint, ok, maxRetryAfterHint)
+	}
+}
+
+// TestShedderRetryAfterFloor: the capacity-refusal hint never goes below
+// the floor, even before any sample has landed.
+func TestShedderRetryAfterFloor(t *testing.T) {
+	sh := newShedder(0.5, 1)
+	if got := sh.retryAfter(3, 3); got != minRetryAfterHint {
+		t.Fatalf("cold retryAfter = %v, want %v", got, minRetryAfterHint)
+	}
+	sh.observe(time.Millisecond)
+	if got := sh.retryAfter(1, 0); got != minRetryAfterHint {
+		t.Fatalf("sub-floor retryAfter = %v, want %v", got, minRetryAfterHint)
+	}
+	sh.observe(40 * time.Millisecond)
+	if got := sh.retryAfter(2, 0); got <= minRetryAfterHint {
+		t.Fatalf("loaded retryAfter = %v, want above the floor", got)
+	}
+}
+
+// TestShedRefusesDoomedRequest is the end-to-end contract: with the EWMA
+// seeded at 300ms and a 500ms budget on one slot, a request arriving
+// behind a busy evaluation projects to 600ms and is refused at the door —
+// busy, mentioning the shed, carrying the projected wait as its hint.
+func TestShedRefusesDoomedRequest(t *testing.T) {
+	fx := newTCPFixture(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+		ShedEWMA:      0.5,
+		RequestBudget: 500 * time.Millisecond,
+	})
+	fx.server.shed.observe(300 * time.Millisecond)
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 700)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(70))
+		firstDone <- err
+	}()
+	<-entered
+
+	// Second request projects past its budget while the slot is held.
+	cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 701)
+	conn := fx.dial(t)
+	defer conn.Close()
+	_, err := cl.Infer(context.Background(), conn, randomImage(71))
+	close(release)
+	if first := <-firstDone; first != nil {
+		t.Fatalf("admitted request failed: %v", first)
+	}
+
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusBusy {
+		t.Fatalf("shed refusal = %v, want StatusBusy StatusError", err)
+	}
+	if !strings.Contains(se.Msg, "shed") {
+		t.Fatalf("refusal %q does not mention shedding", se.Msg)
+	}
+	hint, ok := RetryAfterHint(err)
+	if !ok {
+		t.Fatalf("refusal %q carries no retry-after hint", se.Msg)
+	}
+	// One busy slot over one slot: hint = the seeded 300ms EWMA exactly.
+	if hint != 300*time.Millisecond {
+		t.Fatalf("hint = %v, want 300ms", hint)
+	}
+	if fx.server.Stats().Rejected == 0 {
+		t.Fatal("shed refusal not counted in Stats.Rejected")
+	}
+}
+
+// TestCapacityRefusalCarriesHint: with shedding enabled, even the plain
+// queue-full refusal gains a hint; the cold floor is 10ms.
+func TestCapacityRefusalCarriesHint(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 1, ShedEWMA: 0.5})
+	// A tiny sample keeps the shed gate open but seeds the hint math.
+	fx.server.shed.observe(time.Millisecond)
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	firstDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 702)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(72))
+		firstDone <- err
+	}()
+	<-entered
+
+	cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 703)
+	conn := fx.dial(t)
+	defer conn.Close()
+	_, err := cl.Infer(context.Background(), conn, randomImage(73))
+	close(release)
+	if first := <-firstDone; first != nil {
+		t.Fatalf("admitted request failed: %v", first)
+	}
+
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusBusy {
+		t.Fatalf("capacity refusal = %v, want StatusBusy StatusError", err)
+	}
+	if !strings.Contains(se.Msg, "capacity") {
+		t.Fatalf("refusal %q is not the queue-full message", se.Msg)
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint != minRetryAfterHint {
+		t.Fatalf("capacity hint = %v (ok=%v), want the %v floor", hint, ok, minRetryAfterHint)
+	}
+}
+
+// TestShedDisabledKeepsMessagesHintFree: the default configuration must
+// stay byte-identical to the pre-hint wire traffic.
+func TestShedDisabledKeepsMessagesHintFree(t *testing.T) {
+	fx := newTCPFixture(t, Config{MaxConcurrent: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	fx.server.testEvalHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	firstDone := make(chan error, 1)
+	go func() {
+		cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 704)
+		conn := fx.dial(t)
+		defer conn.Close()
+		_, err := cl.Infer(context.Background(), conn, randomImage(74))
+		firstDone <- err
+	}()
+	<-entered
+
+	cl := NewClient(fx.params, fx.henet, fx.pk, fx.sk, 705)
+	conn := fx.dial(t)
+	defer conn.Close()
+	_, err := cl.Infer(context.Background(), conn, randomImage(75))
+	close(release)
+	if first := <-firstDone; first != nil {
+		t.Fatalf("admitted request failed: %v", first)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusBusy {
+		t.Fatalf("refusal = %v, want StatusBusy StatusError", err)
+	}
+	if strings.Contains(se.Msg, retryAfterToken) {
+		t.Fatalf("hint leaked into a no-shed refusal: %q", se.Msg)
+	}
+	if _, ok := RetryAfterHint(err); ok {
+		t.Fatal("RetryAfterHint parsed a hint from a hint-free message")
+	}
+}
+
+// TestHealthEndpoints: liveness stays 200 across a drain; readiness flips
+// to 503 the moment Shutdown begins.
+func TestHealthEndpoints(t *testing.T) {
+	fx := newFixture(t)
+	mux := http.NewServeMux()
+	fx.server.RegisterHealth(mux)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("live /healthz = %d, want 200", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("live /readyz = %d, want 200", rec.Code)
+	}
+
+	// Zero inflight: the drain completes immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fx.server.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+	rec := get("/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining /readyz body %q does not say so", rec.Body.String())
+	}
+}

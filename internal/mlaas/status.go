@@ -1,7 +1,10 @@
 package mlaas
 
 import (
+	"errors"
 	"fmt"
+	"strings"
+	"time"
 )
 
 // Status is the one-byte typed result code the server prefixes every
@@ -83,6 +86,51 @@ func (e *TransportError) Error() string {
 }
 
 func (e *TransportError) Unwrap() error { return e.Err }
+
+// retryAfterToken introduces the machine-readable retry-after hint a
+// shedding server appends to its StatusBusy messages. Riding inside the
+// error string keeps the wire format unchanged: old clients display a
+// slightly longer message, new clients parse the suffix and feed it into
+// their backoff.
+const retryAfterToken = "retry-after-ms="
+
+// withRetryAfterHint appends the hint suffix to a busy message.
+func withRetryAfterHint(msg string, d time.Duration) string {
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return fmt.Sprintf("%s %s%d", msg, retryAfterToken, ms)
+}
+
+// RetryAfterHint extracts the server's retry-after hint from a
+// *StatusError, if the message carries one. Callers should clamp the
+// value before sleeping on it — the string came off the wire.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	i := strings.LastIndex(se.Msg, retryAfterToken)
+	if i < 0 {
+		return 0, false
+	}
+	rest := se.Msg[i+len(retryAfterToken):]
+	var ms int64
+	var digits int
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		ms = ms*10 + int64(rest[digits]-'0')
+		digits++
+		if ms > int64(maxRetryAfterHint/time.Millisecond) {
+			ms = int64(maxRetryAfterHint / time.Millisecond)
+			break
+		}
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
 
 // wireError is the server's internal representation of a failure that
 // should be reported to the client with a typed status.

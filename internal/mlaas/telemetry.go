@@ -35,6 +35,10 @@ const (
 	MetricLayerKS        = "hecnn_layer_keyswitches_total"
 	MetricBatchOccupancy = "mlaas_batch_occupancy"     // histogram: members per flushed batch
 	MetricBatchFlushes   = "mlaas_batch_flushes_total" // counter{reason}
+	MetricShedTotal      = "mlaas_shed_total"          // counter: requests refused by the shedder
+	MetricEvalEWMA       = "mlaas_eval_ewma_seconds"   // gauge: the shedder's latency estimate
+	MetricBatchDegraded  = "mlaas_batch_degraded_total"
+	MetricBatchBreaker   = "mlaas_batch_breaker_state" // gauge: 0 closed, 1 half-open, 2 open
 )
 
 // phase indexes the request lifecycle histograms.
@@ -71,6 +75,11 @@ type serverMetrics struct {
 
 	batchOccupancy *telemetry.Histogram
 	batchFlushes   [numFlushReasons]*telemetry.Counter
+	batchDegraded  *telemetry.Counter
+	batchBreaker   *telemetry.Gauge
+
+	shed     *telemetry.Counter
+	evalEWMA *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetrics {
@@ -95,6 +104,14 @@ func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetr
 		m.batchFlushes[r] = reg.Counter(MetricBatchFlushes,
 			"batch flushes by trigger", telemetry.L("reason", r.String()))
 	}
+	m.batchDegraded = reg.Counter(MetricBatchDegraded,
+		"batch members recovered through the degraded per-member path")
+	m.batchBreaker = reg.Gauge(MetricBatchBreaker,
+		"batched-evaluation circuit breaker state (0 closed, 1 half-open, 2 open)")
+	m.shed = reg.Counter(MetricShedTotal,
+		"requests refused at admission because their deadline was projected unreachable")
+	m.evalEWMA = reg.Gauge(MetricEvalEWMA,
+		"EWMA of evaluation latency feeding the overload shedder")
 	for _, l := range henet.Layers {
 		m.layers[l.Name()] = layerMetrics{
 			seconds: reg.Histogram(MetricLayerSeconds, "per-layer evaluate wall time", nil,
@@ -125,6 +142,39 @@ func (m *serverMetrics) observeBatch(occupancy int, reason flushReason) {
 	}
 	m.batchOccupancy.Observe(float64(occupancy))
 	m.batchFlushes[reason].Inc()
+}
+
+// observeShed counts one shedder refusal.
+func (m *serverMetrics) observeShed() {
+	if m == nil {
+		return
+	}
+	m.shed.Inc()
+}
+
+// setEvalEWMA publishes the shedder's current latency estimate.
+func (m *serverMetrics) setEvalEWMA(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.evalEWMA.Set(d.Seconds())
+}
+
+// observeDegraded counts members recovered through the degraded
+// per-member path after a failed batch flush.
+func (m *serverMetrics) observeDegraded(members int) {
+	if m == nil {
+		return
+	}
+	m.batchDegraded.Add(int64(members))
+}
+
+// setBatchBreaker publishes the batch path's breaker state.
+func (m *serverMetrics) setBatchBreaker(st breakerState) {
+	if m == nil {
+		return
+	}
+	m.batchBreaker.Set(float64(st))
 }
 
 // observeLayer is the hecnn.Tracer sink: one call per completed layer.
