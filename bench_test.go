@@ -24,6 +24,7 @@ import (
 	"fxhenn/internal/mlaas"
 	"fxhenn/internal/parallel"
 	"fxhenn/internal/profile"
+	"fxhenn/internal/telemetry"
 	"fxhenn/internal/workload"
 )
 
@@ -246,6 +247,56 @@ func BenchmarkMLaaSInference(b *testing.B) {
 		<-done
 	}
 }
+
+// benchWireInference measures the full wire exchange — encrypt, ship
+// over net.Pipe, evaluate, decrypt — with tracing either absent (the
+// byte-identical legacy path) or fully attached on both sides: flight
+// recorders, exemplar-linked metrics, and wire-propagated trace
+// contexts. The Inference_Tiny_Wire / Inference_Tiny_WireTraced pair is
+// the tracing-overhead row PERFORMANCE.md §8 reports; benchjson prints
+// the ratio whenever both rows are in a run.
+func benchWireInference(b *testing.B, traced bool) {
+	params := ckks.NewParameters(8, 30, 7, 45)
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(1)
+	henet := hecnn.Compile(pnet, params.Slots())
+	kg := ckks.NewKeyGenerator(params, 2)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtk := kg.GenRotationKeys(sk, henet.RotationsNeeded(params.MaxLevel()), false)
+	cfg := mlaas.Config{}
+	if traced {
+		cfg.Flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{SampleRate: 1})
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, cfg)
+	client := mlaas.NewClient(params, henet, pk, sk, 3)
+	if traced {
+		client.Flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{SampleRate: 1})
+	}
+	img := workload.Image(1, 8, 8, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cliConn, srvConn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer srvConn.Close()
+			server.Handle(srvConn)
+		}()
+		if _, err := client.Infer(context.Background(), cliConn, img); err != nil {
+			b.Fatal(err)
+		}
+		cliConn.Close()
+		<-done
+	}
+}
+
+func BenchmarkInference_Tiny_Wire(b *testing.B) { benchWireInference(b, false) }
+
+func BenchmarkInference_Tiny_WireTraced(b *testing.B) { benchWireInference(b, true) }
 
 // benchInference measures one full functional encrypted inference
 // (pack → encrypt → evaluate → decrypt) for a network/parameter pair.

@@ -83,11 +83,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	reportTracedOverhead(rep)
 
 	if *baseline != "" {
 		if !checkBaseline(rep, *baseline, *regressPct) {
 			os.Exit(1)
 		}
+	}
+}
+
+// reportTracedOverhead prints, for every Traced benchmark whose untraced
+// counterpart is in the same run (FooTraced vs Foo), the tracing
+// overhead as a percentage — the traced-vs-untraced row the tracing
+// docs quote. Informational only; the regression gate is -baseline.
+func reportTracedOverhead(rep Report) {
+	byName := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b.NsPerOp
+	}
+	for _, b := range rep.Benchmarks {
+		base, found := strings.CutSuffix(b.Name, "Traced")
+		if !found || b.Name == base {
+			continue
+		}
+		was, ok := byName[base]
+		if !ok || was == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: tracing overhead %s vs %s: %.0f vs %.0f ns/op (%+.1f%%)\n",
+			b.Name, base, b.NsPerOp, was, 100*(b.NsPerOp-was)/was)
 	}
 }
 

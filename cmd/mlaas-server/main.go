@@ -34,6 +34,14 @@
 // with its per-layer breakdown; -digest-interval prints a periodic
 // one-line operational digest (req/s, evaluate p50/p99, busy refusals).
 //
+// Tracing: -trace-ring N attaches a tail-sampling flight recorder
+// keeping the last N error/slow/shed/degraded traces (plus a
+// -trace-sample fraction of healthy ones), served as JSON at
+// /debug/traces on the metrics mux; -trace-log appends every kept trace
+// to a JSONL file. Wire-propagated trace contexts from traced clients
+// stitch into the recorded spans; with tracing off the wire protocol
+// and the serve path are byte-identical to the untraced build.
+//
 // Resilience: -shed-ewma enables deadline-aware load shedding — the
 // server tracks an EWMA of evaluation latency and refuses requests whose
 // projected completion already overshoots their budget, attaching a
@@ -97,6 +105,9 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 0, "log requests slower than this with their per-layer breakdown (0 disables)")
 	digestInterval := flag.Duration("digest-interval", 0, "print a one-line telemetry digest at this interval (0 disables)")
 	shedEWMA := flag.Float64("shed-ewma", 0, "EWMA smoothing factor in (0,1] for deadline-aware load shedding; busy refusals then carry retry-after-ms hints (0 disables)")
+	traceRing := flag.Int("trace-ring", 0, "flight recorder capacity: keep this many error/slow/shed/degraded traces (and as many sampled healthy ones) for /debug/traces (0 disables tracing)")
+	traceSample := flag.Float64("trace-sample", 1, "probability a healthy trace is kept by the flight recorder (flagged traces are always kept)")
+	traceLog := flag.String("trace-log", "", "append every kept trace as one JSON line to this file (empty disables; requires -trace-ring)")
 	healthAddr := flag.String("health-addr", "", "serve /healthz and /readyz on this address (empty disables; health is also mounted on -metrics-addr)")
 	endpoints := flag.String("endpoints", "", "comma-separated extra replica addresses; the demo client hedges and fails over across this server plus these (empty = single-endpoint retry demo)")
 	flag.Parse()
@@ -170,6 +181,20 @@ func main() {
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	var flight *telemetry.FlightRecorder
+	if *traceRing > 0 {
+		fcfg := telemetry.FlightConfig{Capacity: *traceRing, SampleRate: *traceSample}
+		if *traceLog != "" {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace log: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			fcfg.Log = f
+		}
+		flight = telemetry.NewFlightRecorder(fcfg)
+	}
 	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
 		MaxConcurrent:        *maxConcurrent,
 		QueueDepth:           *queueDepth,
@@ -181,6 +206,7 @@ func main() {
 		SlowRequestThreshold: *slowThreshold,
 		ShedEWMA:             *shedEWMA,
 		Batch:                batchCfg,
+		Flight:               flight,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -204,6 +230,11 @@ func main() {
 		fmt.Printf("mlaas-server: metrics and pprof on http://%s/metrics\n", ml.Addr())
 		mux := telemetry.NewMux(reg)
 		server.RegisterHealth(mux)
+		if flight != nil {
+			mux.Handle("/debug/traces", flight.Handler())
+			fmt.Printf("mlaas-server: flight recorder on http://%s/debug/traces (ring=%d sample=%g)\n",
+				ml.Addr(), *traceRing, *traceSample)
+		}
 		go func() {
 			if err := http.Serve(ml, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "mlaas-server: metrics server stopped: %v\n", err)

@@ -27,12 +27,14 @@ package mlaas
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/hecnn"
+	"fxhenn/internal/telemetry"
 )
 
 // BatchConfig enables cross-request batched serving. The batch path runs
@@ -101,6 +103,13 @@ type batchOutcome struct {
 	outs []*hecnn.CT // shared logit ciphertexts of the whole batch
 	slot int         // this member's slot in every logit ciphertext
 	err  *wireError  // terminal failure instead
+	// flush is the batch-flush span's context, so the member's own request
+	// trace can link the shared flush trace (and vice versa — the flush
+	// span links every member's wire context).
+	flush telemetry.SpanContext
+	// degraded marks members that were recovered through the per-member
+	// degraded path instead of the coalesced evaluation.
+	degraded bool
 }
 
 // batchMember is one waiting request.
@@ -108,6 +117,9 @@ type batchMember struct {
 	arrival  time.Time
 	deadline time.Time
 	cts      []*hecnn.CT
+	// wt is the member's wire trace context (zero when the request was
+	// untraced); the flush span follows-from every member it coalesces.
+	wt telemetry.SpanContext
 	// claimed is the single ownership bit: the flush that evaluates the
 	// member and the handler that abandons it race on one CAS, so exactly
 	// one side wins. A flush finding the bit set skips the member.
@@ -131,6 +143,9 @@ type batcher struct {
 	// coalescing and run every member through the degraded per-member
 	// path; a half-open probe batch tests recovery.
 	brk *breaker
+	// flight, when attached, records one "batch-flush" trace per flush,
+	// linked follow-from to every member's wire trace context.
+	flight *telemetry.FlightRecorder
 
 	mu       sync.Mutex
 	pending  []*batchMember
@@ -308,6 +323,21 @@ func (b *batcher) flush(reason flushReason) {
 	}
 	b.met.observeBatch(len(members), reason)
 
+	// The flush trace is its own root — a flush has no single parent
+	// request — linked follow-from to every member's wire context, and each
+	// member's request trace links back via the outcome's flush context.
+	var fsp *telemetry.Span
+	var fctx telemetry.SpanContext
+	if b.flight != nil {
+		fsp = telemetry.StartTrace("batch-flush")
+		fsp.SetAttr("reason", reason.String())
+		fsp.SetAttr("occupancy", strconv.Itoa(len(members)))
+		for _, m := range members {
+			fsp.AddLink(m.wt)
+		}
+		fctx = fsp.Context()
+	}
+
 	// The flush occupies ONE evaluation slot regardless of occupancy —
 	// that is the whole throughput story. The wait is bounded by the
 	// earliest member deadline; members whose budget expires while the
@@ -324,7 +354,12 @@ func (b *batcher) flush(reason flushReason) {
 			msg = "server at capacity"
 		}
 		for _, m := range members {
-			m.result <- batchOutcome{err: &wireError{StatusBusy, msg}}
+			m.result <- batchOutcome{err: &wireError{StatusBusy, msg}, flush: fctx}
+		}
+		if fsp != nil {
+			fsp.SetAttr("error", msg)
+			fsp.End()
+			b.flight.Record(fsp, "error")
 		}
 		return
 	}
@@ -355,14 +390,26 @@ func (b *batcher) flush(reason flushReason) {
 			b.brk.onSuccess()
 			b.met.setBatchBreaker(b.brk.currentState())
 			for i, m := range members {
-				m.result <- batchOutcome{outs: outs, slot: i}
+				m.result <- batchOutcome{outs: outs, slot: i, flush: fctx}
+			}
+			if fsp != nil {
+				fsp.End()
+				b.flight.Record(fsp)
 			}
 			return
 		}
 		b.brk.onFailure()
+		if fsp != nil {
+			fsp.SetAttr("error", err.Error())
+		}
 	}
 	b.met.setBatchBreaker(b.brk.currentState())
-	b.degrade(members)
+	b.degrade(members, fctx)
+	if fsp != nil {
+		fsp.SetAttr("degraded", "true")
+		fsp.End()
+		b.flight.Record(fsp, "degraded")
+	}
 }
 
 // evalMembers runs one batched evaluation with panic isolation: a panic
@@ -389,20 +436,20 @@ func (b *batcher) evalMembers(cts [][]*hecnn.CT) (outs []*hecnn.CT, err error) {
 // in the combine path fails at most its own request. Members whose budget
 // already expired are refused with StatusBusy instead of being evaluated
 // dead — their handler gave up waiting and nobody will read the logits.
-func (b *batcher) degrade(members []*batchMember) {
+func (b *batcher) degrade(members []*batchMember, fctx telemetry.SpanContext) {
 	recovered := 0
 	for _, m := range members {
 		if !time.Now().Before(m.deadline) {
-			m.result <- batchOutcome{err: &wireError{StatusBusy, "request budget expired during degraded batch recovery"}}
+			m.result <- batchOutcome{err: &wireError{StatusBusy, "request budget expired during degraded batch recovery"}, flush: fctx, degraded: true}
 			continue
 		}
 		outs, err := b.evalMembers([][]*hecnn.CT{m.cts})
 		if err != nil {
-			m.result <- batchOutcome{err: &wireError{StatusInternal, fmt.Sprintf("degraded evaluation: %v", err)}}
+			m.result <- batchOutcome{err: &wireError{StatusInternal, fmt.Sprintf("degraded evaluation: %v", err)}, flush: fctx, degraded: true}
 			continue
 		}
 		recovered++
-		m.result <- batchOutcome{outs: outs, slot: 0}
+		m.result <- batchOutcome{outs: outs, slot: 0, flush: fctx, degraded: true}
 	}
 	b.met.observeDegraded(recovered)
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 
 	"fxhenn/internal/faultnet"
 	"fxhenn/internal/hecnn"
+	"fxhenn/internal/telemetry"
 )
 
 // chaosIters scales the per-schedule iteration count: 2 in the tier-1
@@ -44,8 +46,28 @@ func faultyEndpoint(base Endpoint, cfg faultnet.Config) Endpoint {
 	}}
 }
 
+// chaosFlight attaches a flight recorder to a chaos client. When
+// FXHENN_CHAOS_TRACE_LOG names a file, every kept trace is appended to
+// it as one JSON line — the nightly chaos job archives that file, so a
+// failed schedule ships its traces with the report.
+func chaosFlight(t *testing.T, cl *Client) {
+	t.Helper()
+	cfg := telemetry.FlightConfig{SampleRate: 1}
+	if path := os.Getenv("FXHENN_CHAOS_TRACE_LOG"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		cfg.Log = f
+	}
+	cl.Flight = telemetry.NewFlightRecorder(cfg)
+}
+
 // runChaos hammers InferHedged over eps and requires every iteration to
-// produce logits matching the plaintext network within tolerance.
+// produce logits matching the plaintext network within tolerance. When
+// the client carries a flight recorder, every recorded hedged trace must
+// also be coherent: at least one attempt child, at least one successful.
 func runChaos(t *testing.T, fl *fleetFixture, cl *Client, eps []Endpoint, p FailoverPolicy, seed int64) int {
 	t.Helper()
 	iters := chaosIters()
@@ -62,6 +84,24 @@ func runChaos(t *testing.T, fl *fleetFixture, cl *Client, eps []Endpoint, p Fail
 			}
 		}
 	}
+	for _, tr := range cl.Flight.Traces() {
+		if tr.Root.Name != "infer-hedged" {
+			continue
+		}
+		attempts, ok := 0, 0
+		for _, c := range tr.Root.Children {
+			if c.Name != "attempt" {
+				continue
+			}
+			attempts++
+			if c.Attr("outcome") == "ok" {
+				ok++
+			}
+		}
+		if attempts < 1 || ok < 1 {
+			t.Fatalf("trace %s incoherent: %d attempts, %d ok — every successful iteration needs a winning attempt", tr.Trace, attempts, ok)
+		}
+	}
 	return iters
 }
 
@@ -69,8 +109,8 @@ func runChaos(t *testing.T, fl *fleetFixture, cl *Client, eps []Endpoint, p Fail
 // archives.
 func logChaosRow(t *testing.T, schedule string, cl *Client, iters int) {
 	t.Helper()
-	t.Logf("chaos outcome | schedule=%-18s iters=%-3d ok=%-3d retries=%-2d hedges=%-2d s0=%-9s s1=%s",
-		schedule, iters, iters, cl.Retries, cl.Hedges,
+	t.Logf("chaos outcome | schedule=%-18s iters=%-3d ok=%-3d retries=%-2d hedges=%-2d traces=%-3d s0=%-9s s1=%s",
+		schedule, iters, iters, cl.Retries, cl.Hedges, cl.Flight.Kept(),
 		cl.EndpointBreakerState("s0"), cl.EndpointBreakerState("s1"))
 }
 
@@ -81,6 +121,7 @@ func logChaosRow(t *testing.T, schedule string, cl *Client, iters int) {
 func TestChaosCorruptResponse(t *testing.T) {
 	fl := newFleet(t, Config{}, Config{})
 	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 200)
+	chaosFlight(t, cl)
 	cl.FrameCheck = true
 	eps := []Endpoint{
 		faultyEndpoint(fl.endpoint(0), faultnet.Config{Seed: 201, CorruptReadAt: 30, CorruptBytes: 8}),
@@ -96,6 +137,7 @@ func TestChaosCorruptResponse(t *testing.T) {
 func TestChaosResetMidRequest(t *testing.T) {
 	fl := newFleet(t, Config{}, Config{})
 	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 220)
+	chaosFlight(t, cl)
 	eps := []Endpoint{
 		faultyEndpoint(fl.endpoint(0), faultnet.Config{Seed: 221, ResetAfterWrites: 100}),
 		fl.endpoint(1),
@@ -111,6 +153,7 @@ func TestChaosResetMidRequest(t *testing.T) {
 func TestChaosSlowDrip(t *testing.T) {
 	fl := newFleet(t, Config{}, Config{})
 	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 240)
+	chaosFlight(t, cl)
 	p := fastPolicy()
 	p.Hedge = true
 	p.HedgeInitial = 100 * time.Millisecond
@@ -130,6 +173,7 @@ func TestChaosSlowDrip(t *testing.T) {
 func TestChaosServerKill(t *testing.T) {
 	fl := newFleet(t, Config{}, Config{})
 	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 260)
+	chaosFlight(t, cl)
 	eps := []Endpoint{fl.endpoint(0), fl.endpoint(1)}
 
 	// One healthy exchange first, so the kill lands on a warm path.
@@ -149,6 +193,7 @@ func TestChaosServerKill(t *testing.T) {
 func TestChaosBreakerRecovery(t *testing.T) {
 	fl := newFleet(t, Config{}, Config{})
 	cl := NewClient(fl.params, fl.henet, fl.pk, fl.sk, 280)
+	chaosFlight(t, cl)
 
 	var healthy atomic.Bool
 	base := fl.endpoint(0)

@@ -22,6 +22,7 @@ import (
 
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/cnn"
+	"fxhenn/internal/telemetry"
 )
 
 // Endpoint is one dialable replica of the serving fleet.
@@ -209,6 +210,13 @@ func (c *Client) InferHedged(ctx context.Context, endpoints []Endpoint, img *cnn
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	root := c.startClientTrace("infer-hedged")
+	logits, err := c.inferHedged(ctx, endpoints, img, policy, root)
+	recordClientTrace(c.Flight, root, err)
+	return logits, err
+}
+
+func (c *Client) inferHedged(ctx context.Context, endpoints []Endpoint, img *cnn.Tensor, policy FailoverPolicy, root *telemetry.Span) ([]float64, error) {
 	p := policy.withDefaults()
 	rng := rand.New(rand.NewSource(p.Retry.Seed))
 	cts := c.encryptRequest(img)
@@ -224,8 +232,9 @@ func (c *Client) InferHedged(ctx context.Context, endpoints []Endpoint, img *cnn
 				return nil, err
 			}
 			c.Retries++
+			c.cm.observeRetry()
 		}
-		out, err := c.failoverRound(ctx, endpoints, round, cts, p)
+		out, err := c.failoverRound(ctx, endpoints, round, cts, p, root)
 		if err == nil {
 			return c.decodeLogits(out), nil
 		}
@@ -253,10 +262,19 @@ type attemptOut struct {
 // attemptOnce runs one dial+exchange against ep, reporting the outcome to
 // br: onSuccess/onFailure normally, onAbandon when the attempt lost a race
 // (ctx cancelled by the coordinator) so an unjudged half-open probe frees
-// the breaker instead of wedging it.
-func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts []*ckks.Ciphertext) attemptOut {
+// the breaker instead of wedging it. Under tracing (non-nil parent) the
+// attempt runs as a child span tagged with the endpoint, the breaker
+// state at launch, and how the attempt was triggered; the span's context
+// is what rides the wire, so the server's trace hangs off this attempt.
+func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts []*ckks.Ciphertext, parent *telemetry.Span, kind string) attemptOut {
 	start := time.Now()
 	res := attemptOut{ep: ep.Name}
+	sp := parent.StartChild("attempt")
+	if sp != nil {
+		sp.SetAttr("endpoint", ep.Name)
+		sp.SetAttr("breaker", br.currentState().String())
+		sp.SetAttr("kind", kind)
+	}
 	defer func() {
 		res.dur = time.Since(start)
 		switch {
@@ -266,6 +284,15 @@ func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts 
 			br.onAbandon()
 		default:
 			br.onFailure()
+		}
+		c.cm.setBreaker(ep.Name, br.currentState())
+		if sp != nil {
+			if res.err != nil {
+				sp.SetAttr("error", res.err.Error())
+			} else {
+				sp.SetAttr("outcome", "ok")
+			}
+			sp.End()
 		}
 	}()
 
@@ -294,7 +321,7 @@ func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts 
 		abs = dl
 	}
 	trw := newTimedRW(conn, c.Timeout, abs)
-	sent, err := writeInferRequest(trw, cts, c.FrameCheck)
+	sent, err := writeInferRequest(trw, cts, c.FrameCheck, sp.Context())
 	res.sent = sent
 	if err != nil {
 		res.err = &TransportError{Err: fmt.Errorf("%s: %w", ep.Name, err)}
@@ -311,7 +338,7 @@ func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts 
 // immediately when the primary fails with a non-terminal error. Returns
 // the winning ciphertext, or the first error once every launched attempt
 // has failed.
-func (c *Client) failoverRound(ctx context.Context, endpoints []Endpoint, round int, cts []*ckks.Ciphertext, p FailoverPolicy) (*ckks.Ciphertext, error) {
+func (c *Client) failoverRound(ctx context.Context, endpoints []Endpoint, round int, cts []*ckks.Ciphertext, p FailoverPolicy, root *telemetry.Span) (*ckks.Ciphertext, error) {
 	// Claim the primary: first endpoint in rotation order whose breaker
 	// admits (allow may consume a half-open probe — the attempt that
 	// follows always reports back).
@@ -349,7 +376,7 @@ func (c *Client) failoverRound(ctx context.Context, endpoints []Endpoint, round 
 
 	results := make(chan attemptOut, 2)
 	inflight := 1
-	go func() { results <- c.attemptOnce(actx, primary, primaryBr, cts) }()
+	go func() { results <- c.attemptOnce(actx, primary, primaryBr, cts, root, "primary") }()
 
 	var hedgeC <-chan time.Time
 	if p.Hedge && len(endpoints) > 1 {
@@ -363,11 +390,14 @@ func (c *Client) failoverRound(ctx context.Context, endpoints []Endpoint, round 
 		if !ok {
 			return
 		}
+		kind := "failover"
 		if timed {
 			c.Hedges++
+			c.cm.observeHedge()
+			kind = "hedge"
 		}
 		inflight++
-		go func() { results <- c.attemptOnce(actx, ep, br, cts) }()
+		go func() { results <- c.attemptOnce(actx, ep, br, cts, root, kind) }()
 	}
 
 	hedged := false

@@ -17,6 +17,7 @@ import (
 
 	"fxhenn/internal/ckks"
 	"fxhenn/internal/faultnet"
+	"fxhenn/internal/telemetry"
 )
 
 // TestCRCMagicAboveCount pins the versioning mechanism: both magics must
@@ -252,12 +253,12 @@ func FuzzClientResponse(f *testing.F) {
 	img := randomImage(92)
 	cts := legacy.encryptRequest(img)
 	req := &bytes.Buffer{}
-	if _, err := writeInferRequest(req, cts, false); err != nil {
+	if _, err := writeInferRequest(req, cts, false, telemetry.SpanContext{}); err != nil {
 		f.Fatal(err)
 	}
 	honest := handleBuf(fx.server, req.Bytes()).Bytes()
 	reqCRC := &bytes.Buffer{}
-	if _, err := writeInferRequest(reqCRC, cts, true); err != nil {
+	if _, err := writeInferRequest(reqCRC, cts, true, telemetry.SpanContext{}); err != nil {
 		f.Fatal(err)
 	}
 	honestCRC := handleBuf(fx.server, reqCRC.Bytes()).Bytes()

@@ -138,6 +138,14 @@ type Config struct {
 	// telemetry.go). Nil disables metrics with zero added work on the
 	// request path.
 	Metrics *telemetry.Registry
+	// Flight, when non-nil, receives the server's tail-sampled request
+	// traces: every error/slow/shed/degraded request is kept, healthy
+	// traffic is sampled, and each kept trace carries the full
+	// queue/decode/validate/evaluate/encode span tree (per-layer spans
+	// included) under the client's wire-propagated trace ID. Nil disables
+	// tracing with zero added work — and unchanged wire bytes — on the
+	// request path.
+	Flight *telemetry.FlightRecorder
 	// SlowRequestThreshold gates the slow-request log: an exchange whose
 	// total time reaches it is logged with its per-phase and per-layer
 	// span breakdown. Zero disables the log.
@@ -197,6 +205,7 @@ type Server struct {
 	// and the slow-request log, correlating client-observed errors with
 	// server telemetry.
 	met     *serverMetrics
+	flight  *telemetry.FlightRecorder
 	reqSeq  atomic.Uint64
 	slowMu  sync.Mutex
 	slowLog io.Writer
@@ -244,6 +253,7 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		cfg:       cfg,
 		adm:       newAdmitter(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Metrics),
 		met:       newServerMetrics(cfg.Metrics, henet),
+		flight:    cfg.Flight,
 		slowLog:   cfg.SlowRequestLog,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -273,6 +283,7 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		cb.SetMetrics(cfg.Metrics)
 		cb.Warm(bc.Params.MaxLevel())
 		s.bat = newBatcher(bc, bctx, cb, s.adm, s.met)
+		s.bat.flight = cfg.Flight
 		go s.bat.run()
 	}
 	return s
@@ -288,9 +299,10 @@ func (s *Server) backend(rec *hecnn.Recorder) hecnn.Backend {
 	return hecnn.NewCryptoBackend(s.ctx, rec)
 }
 
-// observes reports whether requests need a trace (metrics or slow log).
+// observes reports whether requests need a trace (metrics, slow log, or
+// flight recorder).
 func (s *Server) observes() bool {
-	return s.met != nil || (s.cfg.SlowRequestThreshold > 0 && s.slowLog != nil)
+	return s.met != nil || s.flight != nil || (s.cfg.SlowRequestThreshold > 0 && s.slowLog != nil)
 }
 
 // Served returns the number of completed inferences.
@@ -484,6 +496,7 @@ func (s *Server) handleRequest(rw io.ReadWriter) (drain bool) {
 			s.stats.Rejected++
 			s.mu.Unlock()
 			s.met.observeShed()
+			rt.markShed()
 			s.outcome(rt, StatusBusy)
 			msg := fmt.Sprintf("req %d: shed: projected completion exceeds the request budget (%d busy, %d queued)",
 				reqID, busy, queued)
@@ -571,6 +584,21 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
 	}
 	raw := binary.LittleEndian.Uint32(cntBuf[:])
+	// traceMagic carries the client's trace context (trace.go). It leads
+	// every other prefix; a server without a flight recorder parses and
+	// ignores it, so a traced client talks to an untraced new server
+	// transparently (old servers refuse the magic as a hostile count).
+	if raw == traceMagic {
+		tc, err := readTraceBody(rw)
+		if err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading trace context: %v", err)}
+		}
+		rt.setWire(tc)
+		if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
+		}
+		raw = binary.LittleEndian.Uint32(cntBuf[:])
+	}
 	// crcMagic advertises CRC framing (frame.go): the success response gets
 	// a CRC32 trailer. Like batchMagic it reads as a hostile count on old
 	// servers, so the negotiation needs no version field. The magic may
@@ -722,6 +750,10 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 		cts:      cts,
 		result:   make(chan batchOutcome, 1),
 	}
+	if rt != nil {
+		// The flush span links every member's trace as a follow-from.
+		m.wt = rt.wt
+	}
 	if we := s.bat.submit(m); we != nil {
 		return we
 	}
@@ -742,6 +774,10 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 		now := time.Now()
 		rt.timePhase(phaseEvaluate, now.Sub(phaseStart))
 		phaseStart = now
+		// The member's request trace links forward to the flush trace that
+		// evaluated it (and remembers whether it took the degraded path).
+		rt.flushCtx = out.flush
+		rt.degraded = out.degraded
 	}
 	if out.err != nil {
 		return out.err
@@ -882,6 +918,16 @@ type Client struct {
 	Retries       int
 	Hedges        int
 
+	// Flight, when non-nil, enables client-side tracing: every
+	// Infer/InferRetry/InferHedged call runs under a root span whose
+	// trace context is propagated over the wire (trace.go), with one
+	// child span per attempt tagged endpoint/breaker-state/hedge. Nil
+	// keeps wire bytes and the request path byte-identical to the
+	// untraced client.
+	Flight *telemetry.FlightRecorder
+	// cm holds the pre-resolved client metric handles (SetMetrics).
+	cm *clientMetrics
+
 	// Failover state (failover.go): per-endpoint circuit breakers and the
 	// latency window behind the quantile-derived hedge delay. Guarded by
 	// foMu; lazily initialized on the first InferHedged call.
@@ -908,6 +954,17 @@ func NewClient(params ckks.Parameters, henet *hecnn.Network, pk *ckks.PublicKey,
 // Partial=false (safe to retry on a fresh connection), failures after as
 // Partial=true, and typed server refusals as *StatusError.
 func (c *Client) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+	sp := c.startClientTrace("infer")
+	logits, err := c.inferSpan(ctx, conn, img, sp)
+	recordClientTrace(c.Flight, sp, err)
+	return logits, err
+}
+
+// inferSpan is Infer under an optional span: the span's context rides
+// the wire ahead of the request, so the server's trace joins the
+// client's. A nil span keeps the exchange byte-identical to the
+// untraced protocol.
+func (c *Client) inferSpan(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor, sp *telemetry.Span) ([]float64, error) {
 	if err := c.net.ValidateInput(img); err != nil {
 		return nil, err
 	}
@@ -921,7 +978,7 @@ func (c *Client) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor)
 	trw := newTimedRW(conn, c.Timeout, abs)
 
 	cts := c.encryptRequest(img)
-	sent, err := writeInferRequest(trw, cts, c.FrameCheck)
+	sent, err := writeInferRequest(trw, cts, c.FrameCheck, sp.Context())
 	c.BytesSent += sent
 	if err != nil {
 		return nil, &TransportError{Err: err}
@@ -948,12 +1005,17 @@ func (c *Client) encryptRequest(img *cnn.Tensor) []*ckks.Ciphertext {
 	return cts
 }
 
-// writeRequest streams one request: the optional crcMagic advertisement,
-// the ciphertext count, then the serialized ciphertexts. Serialization
-// only reads the ciphertexts, so concurrent hedged attempts may stream
-// the same set.
-func writeInferRequest(w io.Writer, cts []*ckks.Ciphertext, frameCheck bool) (int64, error) {
-	var n int64
+// writeInferRequest streams one request: the optional trace-context
+// header, the optional crcMagic advertisement, the ciphertext count,
+// then the serialized ciphertexts. Serialization only reads the
+// ciphertexts, so concurrent hedged attempts may stream the same set.
+// A zero tc writes no trace header, keeping the legacy framing
+// byte-identical.
+func writeInferRequest(w io.Writer, cts []*ckks.Ciphertext, frameCheck bool, tc telemetry.SpanContext) (int64, error) {
+	n, err := writeTraceHeader(w, tc)
+	if err != nil {
+		return n, err
+	}
 	var hdr [8]byte
 	h := hdr[4:]
 	if frameCheck {
@@ -1067,6 +1129,11 @@ type BatchClient struct {
 	// carry a matching CRC32 trailer.
 	FrameCheck bool
 
+	// Flight enables client-side tracing, as Client's: the request runs
+	// under a root span whose context precedes every other wire prefix,
+	// so the server's batch-flush span can link this request's trace.
+	Flight *telemetry.FlightRecorder
+
 	BytesSent     int64
 	BytesReceived int64
 }
@@ -1089,6 +1156,16 @@ func NewBatchClient(params ckks.Parameters, bnet *hecnn.BatchedNetwork, pk *ckks
 // coalesces concurrent calls into one evaluation, so latency includes up
 // to one batch window of deliberate waiting.
 func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor) ([]float64, error) {
+	var sp *telemetry.Span
+	if c.Flight != nil {
+		sp = telemetry.StartTrace("batch-infer")
+	}
+	logits, err := c.inferSpan(ctx, conn, img, sp)
+	recordClientTrace(c.Flight, sp, err)
+	return logits, err
+}
+
+func (c *BatchClient) inferSpan(ctx context.Context, conn io.ReadWriter, img *cnn.Tensor, sp *telemetry.Span) ([]float64, error) {
 	packed, err := c.net.PackImage(img)
 	if err != nil {
 		return nil, err
@@ -1102,6 +1179,11 @@ func (c *BatchClient) Infer(ctx context.Context, conn io.ReadWriter, img *cnn.Te
 	}
 	trw := newTimedRW(conn, c.Timeout, abs)
 
+	tn, err := writeTraceHeader(trw, sp.Context())
+	c.BytesSent += tn
+	if err != nil {
+		return nil, &TransportError{Err: err}
+	}
 	var hdr [12]byte
 	h := hdr[4:]
 	if c.FrameCheck {

@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"fxhenn/internal/cnn"
+	"fxhenn/internal/telemetry"
 )
 
 // RetryPolicy shapes InferRetry's capped exponential backoff. The zero
@@ -111,6 +113,13 @@ func Retryable(err error) bool {
 // unchanged, or the last error annotated with the attempt count when the
 // budget runs out.
 func (c *Client) InferRetry(ctx context.Context, dial func(context.Context) (net.Conn, error), img *cnn.Tensor, policy RetryPolicy) ([]float64, error) {
+	root := c.startClientTrace("infer-retry")
+	logits, err := c.inferRetry(ctx, dial, img, policy, root)
+	recordClientTrace(c.Flight, root, err)
+	return logits, err
+}
+
+func (c *Client) inferRetry(ctx context.Context, dial func(context.Context) (net.Conn, error), img *cnn.Tensor, policy RetryPolicy, root *telemetry.Span) ([]float64, error) {
 	p := policy.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
 	var lastErr error
@@ -127,14 +136,31 @@ func (c *Client) InferRetry(ctx context.Context, dial func(context.Context) (net
 				return nil, err
 			}
 			c.Retries++
+			c.cm.observeRetry()
+		}
+		sp := root.StartChild("attempt")
+		if sp != nil {
+			sp.SetAttr("attempt", strconv.Itoa(attempt))
 		}
 		conn, err := dial(ctx)
 		if err != nil {
 			lastErr = fmt.Errorf("dial: %w", err)
+			if sp != nil {
+				sp.SetAttr("error", lastErr.Error())
+				sp.End()
+			}
 			continue // dial failures are always retryable
 		}
-		logits, err := c.Infer(ctx, conn, img)
+		logits, err := c.inferSpan(ctx, conn, img, sp)
 		conn.Close()
+		if sp != nil {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			} else {
+				sp.SetAttr("outcome", "ok")
+			}
+			sp.End()
+		}
 		if err == nil {
 			return logits, nil
 		}

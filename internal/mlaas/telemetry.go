@@ -41,6 +41,76 @@ const (
 	MetricBatchBreaker   = "mlaas_batch_breaker_state" // gauge: 0 closed, 1 half-open, 2 open
 )
 
+// Metric families exported by the client (Client.SetMetrics), so fleet
+// dashboards see the client's view of resilience state instead of
+// scraping method-only accessors.
+const (
+	MetricClientRetries = "mlaas_client_retries_total" // counter
+	MetricClientHedges  = "mlaas_client_hedges_total"  // counter
+	MetricClientBreaker = "mlaas_client_breaker_state" // gauge{endpoint}
+)
+
+// clientMetrics is the client-side handle set, resolved once per
+// endpoint. Nil (the default) keeps the client's hot path metric-free.
+type clientMetrics struct {
+	reg     *telemetry.Registry
+	retries *telemetry.Counter
+	hedges  *telemetry.Counter
+
+	mu       sync.Mutex
+	breakers map[string]*telemetry.Gauge
+}
+
+// SetMetrics attaches a registry to the client: retry/hedge counters and
+// the per-endpoint breaker-state gauges (0 closed, 1 half-open, 2 open)
+// export under the MetricClient* families. Nil detaches.
+func (c *Client) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		c.cm = nil
+		return
+	}
+	c.cm = &clientMetrics{
+		reg: reg,
+		retries: reg.Counter(MetricClientRetries,
+			"extra attempts performed by InferRetry and InferHedged"),
+		hedges: reg.Counter(MetricClientHedges,
+			"timed hedged second attempts InferHedged fired"),
+		breakers: map[string]*telemetry.Gauge{},
+	}
+}
+
+func (m *clientMetrics) observeRetry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *clientMetrics) observeHedge() {
+	if m == nil {
+		return
+	}
+	m.hedges.Inc()
+}
+
+// setBreaker publishes one endpoint's breaker state, resolving the gauge
+// on first sight of the endpoint.
+func (m *clientMetrics) setBreaker(endpoint string, st breakerState) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	g, ok := m.breakers[endpoint]
+	if !ok {
+		g = m.reg.Gauge(MetricClientBreaker,
+			"per-endpoint circuit breaker state (0 closed, 1 half-open, 2 open)",
+			telemetry.L("endpoint", endpoint))
+		m.breakers[endpoint] = g
+	}
+	m.mu.Unlock()
+	g.Set(float64(st))
+}
+
 // phase indexes the request lifecycle histograms.
 type phase int
 
@@ -193,12 +263,21 @@ func (m *serverMetrics) observeLayer(st hecnn.LayerStat) {
 
 // reqTrace carries one request's phase timings and layer breakdown from
 // admission to outcome. It exists only when the server observes requests
-// (metrics or slow-request log enabled).
+// (metrics, slow-request log, or flight recorder enabled).
 type reqTrace struct {
 	id     uint64
 	start  time.Time
 	phases [numPhases]time.Duration
 	layers []hecnn.LayerStat
+
+	// wt is the wire-propagated trace context (zero for untraced
+	// clients); flushCtx links a batched member forward to the flush
+	// trace that evaluated it; shed/degraded feed the flight recorder's
+	// always-keep tags.
+	wt       telemetry.SpanContext
+	flushCtx telemetry.SpanContext
+	shed     bool
+	degraded bool
 }
 
 // timePhase records d against p (keeping the max on re-entry, which
@@ -211,8 +290,25 @@ func (rt *reqTrace) timePhase(p phase, d time.Duration) {
 	rt.phases[p] += d
 }
 
-// outcome finalizes a request: status counter, phase histograms,
-// whole-request histogram, and — when over the threshold — one
+// setWire stores the client's propagated trace context.
+func (rt *reqTrace) setWire(tc telemetry.SpanContext) {
+	if rt == nil {
+		return
+	}
+	rt.wt = tc
+}
+
+// markShed flags the request as refused by the shedder.
+func (rt *reqTrace) markShed() {
+	if rt == nil {
+		return
+	}
+	rt.shed = true
+}
+
+// outcome finalizes a request: status counter, phase histograms (with
+// exemplars pointing at the recorded trace), whole-request histogram,
+// the flight-recorder entry, and — when over the threshold — one
 // structured slow-request log line with the per-layer span breakdown.
 func (s *Server) outcome(rt *reqTrace, st Status) {
 	m := s.met
@@ -223,15 +319,31 @@ func (s *Server) outcome(rt *reqTrace, st Status) {
 		return
 	}
 	total := time.Since(rt.start)
+	slow := s.cfg.SlowRequestThreshold > 0 && total >= s.cfg.SlowRequestThreshold
+
+	// Resolve the trace identity once: the wire-propagated trace when the
+	// client sent one, a fresh ID otherwise — but only when a recorder
+	// will keep it, so untraced servers mint nothing.
+	var traceID string
+	if s.flight != nil {
+		if rt.wt.Trace.IsZero() {
+			rt.wt.Trace = telemetry.NewTraceID()
+		}
+		traceID = rt.wt.Trace.String()
+	}
+
 	if m != nil {
 		for p := phase(0); p < numPhases; p++ {
 			if rt.phases[p] > 0 {
-				m.phases[p].Observe(rt.phases[p].Seconds())
+				m.phases[p].ObserveExemplar(rt.phases[p].Seconds(), traceID)
 			}
 		}
-		m.request.Observe(total.Seconds())
+		m.request.ObserveExemplar(total.Seconds(), traceID)
 	}
-	if s.cfg.SlowRequestThreshold > 0 && total >= s.cfg.SlowRequestThreshold && s.slowLog != nil {
+	if s.flight != nil {
+		s.recordTrace(rt, st, total, slow)
+	}
+	if slow && s.slowLog != nil {
 		if m != nil {
 			m.slow.Inc()
 		}
@@ -239,9 +351,11 @@ func (s *Server) outcome(rt *reqTrace, st Status) {
 	}
 }
 
-// logSlow writes the structured slow-request line: request id, status,
-// total, per-phase times, and the per-layer evaluate breakdown.
-func (s *Server) logSlow(rt *reqTrace, st Status, total time.Duration) {
+// buildRequestSpan assembles the completed span tree of one finished
+// request — the "request" root, one child per lifecycle phase, and the
+// per-layer breakdown under evaluate. Shared by the slow-request log and
+// the flight recorder.
+func buildRequestSpan(rt *reqTrace, st Status, total time.Duration) *telemetry.Span {
 	span := telemetry.CompletedSpan("request", total,
 		telemetry.L("req", strconv.FormatUint(rt.id, 10)),
 		telemetry.L("status", st.String()))
@@ -261,6 +375,40 @@ func (s *Server) logSlow(rt *reqTrace, st Status, total time.Duration) {
 		}
 		span.AddChild(ps)
 	}
+	return span
+}
+
+// recordTrace snapshots the finished request into the flight recorder:
+// the span tree joins the client's trace (rt.wt resolved by outcome),
+// links forward to any batch flush that evaluated it, and carries the
+// tail-sampler's always-keep tags.
+func (s *Server) recordTrace(rt *reqTrace, st Status, total time.Duration, slow bool) {
+	span := buildRequestSpan(rt, st, total)
+	span.Trace = rt.wt.Trace
+	span.Parent = rt.wt.Span
+	span.ID = telemetry.NewSpanID()
+	span.AddLink(rt.flushCtx)
+
+	var tags []string
+	if st != StatusOK {
+		tags = append(tags, "error")
+	}
+	if slow {
+		tags = append(tags, "slow")
+	}
+	if rt.shed {
+		tags = append(tags, "shed")
+	}
+	if rt.degraded {
+		tags = append(tags, "degraded")
+	}
+	s.flight.Record(span, tags...)
+}
+
+// logSlow writes the structured slow-request line: request id, status,
+// total, per-phase times, and the per-layer evaluate breakdown.
+func (s *Server) logSlow(rt *reqTrace, st Status, total time.Duration) {
+	span := buildRequestSpan(rt, st, total)
 	s.slowMu.Lock()
 	fmt.Fprintf(s.slowLog, "mlaas: slow request %s\n", span)
 	s.slowMu.Unlock()

@@ -19,7 +19,7 @@ import (
 func WriteText(w io.Writer, snap Snapshot) error {
 	for _, f := range snap.Families {
 		if f.Help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help)
+			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind)
 		for i := range f.Metrics {
@@ -27,8 +27,9 @@ func WriteText(w io.Writer, snap Snapshot) error {
 			switch f.Kind {
 			case KindHistogram:
 				for _, b := range m.Buckets {
-					fmt.Fprintf(w, "%s_bucket%s %d\n",
-						f.Name, labelString(m.Labels, L("le", formatBound(b.UpperBound))), b.Count)
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+						f.Name, labelString(m.Labels, L("le", formatBound(b.UpperBound))),
+						b.Count, exemplarSuffix(b.Exemplar))
 				}
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(m.Labels), formatValue(m.Sum))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(m.Labels), m.Count)
@@ -58,10 +59,57 @@ func labelString(labels []Label, extra ...Label) string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
 	}
 	sb.WriteByte('}')
 	return sb.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes — and only
+// those: backslash, double quote, and newline. Go's %q is wrong here (it
+// escapes tabs and control bytes in Go syntax, which exposition parsers
+// reject as literal backslash sequences).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes HELP text (backslash and newline only; quotes are
+// legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// exemplarSuffix renders an OpenMetrics-style exemplar after a bucket
+// line: ` # {trace_id="..."} value`.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabelValue(e.TraceID), formatValue(e.Value))
 }
 
 func formatBound(v float64) string {
@@ -78,19 +126,29 @@ func formatValue(v float64) string {
 // MarshalJSON renders the bucket bound as a string so the +Inf overflow
 // bucket survives encoding/json (which rejects infinities).
 func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatBound(b.UpperBound), b.Count)), nil
+	if b.Exemplar == nil {
+		return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatBound(b.UpperBound), b.Count)), nil
+	}
+	ex, err := json.Marshal(b.Exemplar)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d,"exemplar":%s}`,
+		formatBound(b.UpperBound), b.Count, ex)), nil
 }
 
 // UnmarshalJSON parses the string-encoded bound back, accepting "+Inf".
 func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		LE    string `json:"le"`
-		Count int64  `json:"count"`
+		LE       string    `json:"le"`
+		Count    int64     `json:"count"`
+		Exemplar *Exemplar `json:"exemplar"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	b.Count = raw.Count
+	b.Exemplar = raw.Exemplar
 	if raw.LE == "+Inf" {
 		b.UpperBound = math.Inf(1)
 		return nil

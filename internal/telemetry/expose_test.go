@@ -73,6 +73,44 @@ func TestHandlerTextAndJSON(t *testing.T) {
 	}
 }
 
+// TestLabelValueEscaping pins the Prometheus text-format escapes:
+// backslash, double quote, and newline are escaped; everything else —
+// including tabs and UTF-8 — passes through verbatim. (Go's %q would
+// emit \t and \xNN sequences, which exposition parsers reject.)
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", L("path", `C:\dir`+"\n"+`say "hi"`)).Inc()
+	r.Counter("tabs", "", L("v", "a\tb µs")).Inc()
+
+	var sb strings.Builder
+	if err := WriteText(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if want := `c{path="C:\\dir\nsay \"hi\""} 1`; !strings.Contains(out, want) {
+		t.Fatalf("hostile label not escaped, want %q in:\n%s", want, out)
+	}
+	// Tab and µ must appear raw, not as Go escape sequences.
+	if !strings.Contains(out, "tabs{v=\"a\tb µs\"} 1") {
+		t.Fatalf("tab/UTF-8 label mangled:\n%s", out)
+	}
+	if strings.Contains(out, `\t`) || strings.Contains(out, `\x`) || strings.Contains(out, `\u`) {
+		t.Fatalf("Go-style escapes leaked into exposition:\n%s", out)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "line one\nline two with \\ backslash").Inc()
+	var sb strings.Builder
+	if err := WriteText(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if want := `# HELP c line one\nline two with \\ backslash`; !strings.Contains(sb.String(), want) {
+		t.Fatalf("HELP not escaped, want %q in:\n%s", want, sb.String())
+	}
+}
+
 func TestSnapshotQuantileFromBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("h", "", []float64{1, 2, 4}, L("k", "v"))

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,20 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 sum via CAS
 	minBits atomic.Uint64 // float64; valid only when count > 0
 	maxBits atomic.Uint64
+
+	// exemplars[i] holds the most recent exemplar landing in bucket i;
+	// lazily allocated on the first ObserveExemplar so plain histograms
+	// pay nothing.
+	exOnce    sync.Once
+	exemplars atomic.Pointer[[]atomic.Pointer[Exemplar]]
+}
+
+// Exemplar ties one observed value to the trace that produced it, so a
+// histogram bucket in the exposition points at a recorded trace.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	When    time.Time `json:"when"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -61,6 +76,38 @@ func (h *Histogram) Observe(v float64) {
 	casFloat(&h.sumBits, func(old float64) float64 { return old + v })
 	casFloat(&h.minBits, func(old float64) float64 { return math.Min(old, v) })
 	casFloat(&h.maxBits, func(old float64) float64 { return math.Max(old, v) })
+}
+
+// ObserveExemplar records one value and remembers (value, traceID) as
+// the exemplar for the bucket it lands in. Callers use either Observe
+// or ObserveExemplar for a given measurement, never both — this method
+// already counts the observation.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exOnce.Do(func() {
+		ex := make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
+		h.exemplars.Store(&ex)
+	})
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	(*h.exemplars.Load())[i].Store(&Exemplar{Value: v, TraceID: traceID, When: time.Now()})
+}
+
+// bucketExemplar returns bucket i's most recent exemplar, or nil.
+func (h *Histogram) bucketExemplar(i int) *Exemplar {
+	ex := h.exemplars.Load()
+	if ex == nil || i < 0 || i >= len(*ex) {
+		return nil
+	}
+	return (*ex)[i].Load()
 }
 
 // ObserveSince records the seconds elapsed since start.

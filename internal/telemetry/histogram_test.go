@@ -125,6 +125,47 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleBucket(t *testing.T) {
+	// One finite bound plus the overflow: quantiles must interpolate
+	// sanely with no interior bucket boundaries to lean on.
+	h := NewRegistry().Histogram("h", "", []float64{1})
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i) * 0.1) // all in bucket 0, values (0, 1]
+	}
+	if q := h.Quantile(0); q != 0.1 {
+		t.Fatalf("p0 = %v, want observed min 0.1", q)
+	}
+	if q := h.Quantile(1); q != 1.0 {
+		t.Fatalf("p100 = %v, want observed max 1.0", q)
+	}
+	if q := h.Quantile(0.5); q < 0.1 || q > 1.0 {
+		t.Fatalf("p50 = %v, want within [0.1, 1.0]", q)
+	}
+	// Push one into the overflow; p100 must track the new max.
+	h.Observe(42)
+	if q := h.Quantile(1); q != 42 {
+		t.Fatalf("p100 after overflow = %v, want 42", q)
+	}
+
+	// The same answers must survive a registry snapshot round-trip.
+	r := NewRegistry()
+	h2 := r.Histogram("h2", "", []float64{1})
+	h2.Observe(0.5)
+	m := r.Snapshot().Family("h2").Metric()
+	if got := m.Quantile(0.5); got != 0.5 {
+		t.Fatalf("snapshot p50 single observation = %v, want 0.5", got)
+	}
+}
+
+func TestSnapshotQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1})
+	m := r.Snapshot().Family("h").Metric()
+	if !math.IsNaN(m.Quantile(0.5)) {
+		t.Fatal("snapshot quantile on empty histogram must be NaN")
+	}
+}
+
 func TestHistogramBadBoundsPanics(t *testing.T) {
 	mustPanic(t, "non-increasing bounds", func() { newHistogram([]float64{1, 1, 2}) })
 }

@@ -178,10 +178,12 @@ type MetricSnapshot struct {
 }
 
 // BucketSnapshot is one cumulative histogram bucket: the count of
-// observations ≤ UpperBound (the last bucket's bound is +Inf).
+// observations ≤ UpperBound (the last bucket's bound is +Inf), plus the
+// bucket's most recent exemplar when one was recorded.
 type BucketSnapshot struct {
-	UpperBound float64 `json:"le"`
-	Count      int64   `json:"count"`
+	UpperBound float64   `json:"le"`
+	Count      int64     `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Quantile estimates a quantile from the snapshot's buckets (histograms
@@ -258,7 +260,9 @@ func (r *Registry) Snapshot() Snapshot {
 					if i < len(c.bounds) {
 						ub = c.bounds[i]
 					}
-					ms.Buckets = append(ms.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{
+						UpperBound: ub, Count: cum, Exemplar: c.bucketExemplar(i),
+					})
 				}
 			}
 			fs.Metrics = append(fs.Metrics, ms)

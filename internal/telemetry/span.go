@@ -18,6 +18,14 @@ type Span struct {
 	Attrs    []Label
 	Children []*Span
 
+	// Trace identity: populated by StartTrace/StartTraceFrom and
+	// inherited by children. Spans from plain StartSpan carry zero IDs
+	// and behave exactly as before tracing existed.
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	links  []SpanContext // follow-from links (e.g. batch-flush members)
+
 	start time.Time
 	dur   time.Duration
 	mu    sync.Mutex
@@ -29,16 +37,103 @@ func StartSpan(name string) *Span {
 	return &Span{Name: name, start: time.Now()}
 }
 
-// StartChild begins a child span of s.
+// StartTrace begins a root span with a fresh trace ID.
+func StartTrace(name string) *Span {
+	return StartTraceFrom(name, SpanContext{Trace: NewTraceID()})
+}
+
+// StartTraceFrom begins a root span continuing a propagated trace
+// context (the remote side of a wire hop): the span joins ctx.Trace
+// with ctx.Span as its parent. A zero ctx mints a fresh trace.
+func StartTraceFrom(name string, ctx SpanContext) *Span {
+	if ctx.Trace.IsZero() {
+		ctx.Trace = NewTraceID()
+		ctx.Span = SpanID{}
+	}
+	s := StartSpan(name)
+	s.Trace = ctx.Trace
+	s.Parent = ctx.Span
+	s.ID = NewSpanID()
+	return s
+}
+
+// StartChild begins a child span of s, inheriting the trace ID.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := StartSpan(name)
+	if !s.Trace.IsZero() {
+		c.Trace = s.Trace
+		c.Parent = s.ID
+		c.ID = NewSpanID()
+	}
 	s.mu.Lock()
 	s.Children = append(s.Children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// Context returns the span's wire-propagatable identity (zero if the
+// span is nil or not part of a trace).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.Trace, Span: s.ID}
+}
+
+// TraceID returns the span's trace ID (zero if nil or untraced).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.Trace
+}
+
+// AddLink attaches a follow-from link to another trace (e.g. a batch
+// flush linking every coalesced member's request trace). Zero contexts
+// are ignored.
+func (s *Span) AddLink(ctx SpanContext) {
+	if s == nil || ctx.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	s.links = append(s.links, ctx)
+	s.mu.Unlock()
+}
+
+// Snapshot deep-copies the span tree into an immutable, encodable form.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	snap := SpanSnapshot{
+		Name:       s.Name,
+		DurationNs: int64(dur),
+		Attrs:      append([]Label(nil), s.Attrs...),
+	}
+	if !s.Trace.IsZero() {
+		snap.Trace = s.Trace.String()
+		snap.Span = s.ID.String()
+		if !s.Parent.IsZero() {
+			snap.Parent = s.Parent.String()
+		}
+	}
+	for _, l := range s.links {
+		snap.Links = append(snap.Links, l.Trace.String())
+	}
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
 }
 
 // SetAttr attaches a key=value attribute.
