@@ -6,7 +6,7 @@ GO ?= go
 # coverage job fail below it.
 COVERAGE_FLOOR ?= 88.0
 
-.PHONY: build test verify race bench cover clean
+.PHONY: build test verify race bench cover clean artifact
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,17 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	./bin/benchjson -out BENCH_inference.json < bench.out
 	rm -f bench.out
+
+# artifact is the one-command paper reproduction (ARTIFACT.md): verify
+# the committed EXPERIMENTS.md table bodies are current, then emit the
+# full bundle — every paper table as CSV/markdown/LaTeX under artifact/
+# plus the measured open-loop serving curves and their
+# artifact/BENCH_loadgen.json rows. ARTIFACT_MODE=full enlarges the
+# measured grids (quick runs in seconds, full in minutes).
+ARTIFACT_MODE ?= quick
+artifact:
+	$(GO) run ./cmd/artifact -check
+	$(GO) run ./cmd/artifact -mode $(ARTIFACT_MODE)
 
 # cover writes coverage.out over the internal packages and enforces the
 # committed floor. CI uploads the profile as an artifact.

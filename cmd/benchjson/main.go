@@ -10,11 +10,25 @@
 // Benchmarks only in one of the two reports are listed but never fail
 // the run, so adding a benchmark does not break CI.
 //
+// With -in the report is loaded from an existing JSON file instead of
+// parsing bench text on stdin — the path cmd/artifact's
+// BENCH_loadgen.json takes through the same gates.
+//
+// With -history the report is additionally compared against the rolling
+// JSONL history at that path and then appended to it: each line is one
+// prior report, the reference value per benchmark is the median ns/op
+// over the last -history-window entries that contain it, and the run
+// fails when the fresh value exceeds that median by more than
+// -regress-pct. The median absorbs single noisy runs in either
+// direction, which a fixed committed baseline cannot (DESIGN.md §15).
+//
 // Usage:
 //
 //	go test -bench=Inference -benchtime=1x -run='^$' . | benchjson -out BENCH_inference.json
 //	benchjson -out bench.json -filter '' < bench.txt   # keep every benchmark
 //	benchjson -out /dev/null -baseline BENCH_inference.json -regress-pct 25 < bench.txt
+//	benchjson -in artifact/BENCH_loadgen.json -out /dev/null -baseline BENCH_loadgen.json -regress-pct 100
+//	benchjson -in artifact/BENCH_loadgen.json -out /dev/null -history loadgen-history.jsonl
 package main
 
 import (
@@ -23,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,29 +63,44 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "BENCH_inference.json", "JSON report path")
-	filter := flag.String("filter", "Inference_", "keep benchmarks whose trimmed name contains this substring (empty keeps all)")
+	in := flag.String("in", "", "load the report from this JSON file instead of parsing bench text on stdin (empty reads stdin)")
+	filter := flag.String("filter", "Inference_", "keep benchmarks whose trimmed name contains this substring (empty keeps all; ignored with -in)")
 	baseline := flag.String("baseline", "", "committed report to compare against; exit nonzero on regression (empty disables)")
-	regressPct := flag.Float64("regress-pct", 25, "with -baseline: fail when ns/op exceeds the baseline by more than this percentage")
+	regressPct := flag.Float64("regress-pct", 25, "with -baseline/-history: fail when ns/op exceeds the reference by more than this percentage")
+	history := flag.String("history", "", "rolling JSONL history: compare against the median of the last -history-window entries, then append this run (empty disables)")
+	historyWindow := flag.Int("history-window", 5, "with -history: how many most-recent entries the median is taken over")
 	flag.Parse()
 
 	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		b, ok := parseLine(line)
-		if !ok {
-			continue
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -in: %v\n", err)
+			os.Exit(1)
 		}
-		if *filter != "" && !strings.Contains(b.Name, *filter) {
-			continue
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -in %s: %v\n", *in, err)
+			os.Exit(1)
 		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			if *filter != "" && !strings.Contains(b.Name, *filter) {
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -85,11 +115,101 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 	reportTracedOverhead(rep)
 
-	if *baseline != "" {
-		if !checkBaseline(rep, *baseline, *regressPct) {
-			os.Exit(1)
-		}
+	ok := true
+	if *baseline != "" && !checkBaseline(rep, *baseline, *regressPct) {
+		ok = false
 	}
+	if *history != "" && !checkAndAppendHistory(rep, *history, *historyWindow, *regressPct) {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkAndAppendHistory compares the fresh report against the median
+// ns/op of the last window entries in the JSONL history, then appends
+// the report as a new line regardless of outcome (a regressed run is
+// still data). Benchmarks with no history are reported and skipped, so
+// the first runs of a new row never fail. Returns false on a regression
+// beyond pct or an unusable history file.
+func checkAndAppendHistory(rep Report, path string, window int, pct float64) bool {
+	var hist []Report
+	if data, err := os.ReadFile(path); err == nil {
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var r Report
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: history %s line %d: %v\n", path, i+1, err)
+				return false
+			}
+			hist = append(hist, r)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchjson: history: %v\n", err)
+		return false
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	ok := true
+	for _, b := range rep.Benchmarks {
+		var vals []float64
+		for i := len(hist) - 1; i >= 0 && len(vals) < window; i-- {
+			for _, h := range hist[i].Benchmarks {
+				if h.Name == b.Name && h.NsPerOp > 0 {
+					vals = append(vals, h.NsPerOp)
+					break
+				}
+			}
+		}
+		if len(vals) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: no history yet, skipping\n", b.Name)
+			continue
+		}
+		med := median(vals)
+		delta := 100 * (b.NsPerOp - med) / med
+		if b.NsPerOp > med*(1+pct/100) {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs median-of-%d %.0f (%+.1f%% > +%.0f%% allowed)\n",
+				b.Name, b.NsPerOp, len(vals), med, delta, pct)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %.0f ns/op vs median-of-%d %.0f (%+.1f%%)\n",
+			b.Name, b.NsPerOp, len(vals), med, delta)
+	}
+
+	line, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: history append: %v\n", err)
+		return false
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: history append: %v\n", err)
+		return false
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: history append: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended run %d to %s\n", len(hist)+1, path)
+	return ok
+}
+
+// median returns the middle value (mean of the two middles for even n).
+// vals is mutated by sorting.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 // reportTracedOverhead prints, for every Traced benchmark whose untraced

@@ -1,0 +1,204 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"fxhenn/internal/experiments"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *experiments.Env
+)
+
+func getEnv(t testing.TB) *experiments.Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv = experiments.NewEnv() })
+	return testEnv
+}
+
+// skeleton builds a minimal document carrying one marker pair per
+// catalog experiment, with stale bodies.
+func skeleton() []byte {
+	var b bytes.Buffer
+	b.WriteString("# doc\n\nprose stays\n\n")
+	for _, exp := range experiments.Catalog() {
+		b.WriteString(beginMarker(exp.Slug) + "\nSTALE\n" + endMarker(exp.Slug) + "\n\nmore prose\n\n")
+	}
+	return b.Bytes()
+}
+
+func TestRegenerateDocReplacesEveryBody(t *testing.T) {
+	e := getEnv(t)
+	out, err := RegenerateDoc(skeleton(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(out, []byte("STALE")) {
+		t.Fatal("stale body survived regeneration")
+	}
+	if !bytes.Contains(out, []byte("prose stays")) || !bytes.Contains(out, []byte("more prose")) {
+		t.Fatal("prose outside markers was disturbed")
+	}
+	for _, exp := range experiments.Catalog() {
+		sec := section(out, exp.Slug)
+		if len(sec) == 0 {
+			t.Fatalf("%s: markers lost", exp.Slug)
+		}
+		if !bytes.Contains(sec, []byte("|")) {
+			t.Fatalf("%s: no markdown table between markers", exp.Slug)
+		}
+	}
+	// Idempotent: regenerating the regenerated document is a fixpoint.
+	again, err := RegenerateDoc(out, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, again) {
+		t.Fatal("regeneration is not idempotent")
+	}
+}
+
+func TestRegenerateDocErrors(t *testing.T) {
+	e := getEnv(t)
+	if _, err := RegenerateDoc([]byte("no markers at all"), e); err == nil {
+		t.Fatal("missing markers not reported")
+	}
+	doc := skeleton()
+	broken := bytes.Replace(doc, []byte(endMarker("table-i")), nil, 1)
+	if _, err := RegenerateDoc(broken, e); err == nil || !strings.Contains(err.Error(), "not closed") {
+		t.Fatalf("unclosed marker: err = %v", err)
+	}
+	unknown := append(append([]byte(nil), doc...), []byte("\n<!-- artifact:bogus-slug -->\n<!-- /artifact:bogus-slug -->\n")...)
+	if _, err := RegenerateDoc(unknown, e); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown slug: err = %v", err)
+	}
+	dup := append(append([]byte(nil), doc...), section(doc, "table-i")...)
+	if _, err := RegenerateDoc(dup, e); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate marker: err = %v", err)
+	}
+}
+
+func TestDriftNamesTheChangedSection(t *testing.T) {
+	e := getEnv(t)
+	current, err := RegenerateDoc(skeleton(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := Drift(current, e); err != nil || d != nil {
+		t.Fatalf("current doc reported drifted: %v, %v", d, err)
+	}
+	tampered := bytes.Replace(current, []byte("KeySwitch"), []byte("KeySwap"), 1)
+	d, err := Drift(tampered, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || d[0] != "table-i" {
+		t.Fatalf("drift = %v, want [table-i]", d)
+	}
+}
+
+func TestWriteBundleDeterministic(t *testing.T) {
+	e := getEnv(t)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := WriteBundle(e, a, "quick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(e, b, "quick"); err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range experiments.Catalog() {
+		p := filepath.Join("csv", exp.Slug+".csv")
+		fa, err := os.ReadFile(filepath.Join(a, p))
+		if err != nil {
+			t.Fatalf("%s: %v", exp.Slug, err)
+		}
+		if len(fa) == 0 || !bytes.Contains(fa, []byte(",")) {
+			t.Fatalf("%s: empty or commaless CSV", exp.Slug)
+		}
+		fb, _ := os.ReadFile(filepath.Join(b, p))
+		if !bytes.Equal(fa, fb) {
+			t.Fatalf("%s: bundle not deterministic", exp.Slug)
+		}
+	}
+	for _, name := range []string{"tables.md", "tables.tex", "MANIFEST.json"} {
+		fa, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, _ := os.ReadFile(filepath.Join(b, name))
+		if !bytes.Equal(fa, fb) {
+			t.Fatalf("%s differs across runs", name)
+		}
+	}
+	md, _ := os.ReadFile(filepath.Join(a, "tables.md"))
+	tex, _ := os.ReadFile(filepath.Join(a, "tables.tex"))
+	for _, want := range []string{"table-vii", "fig-10", "packing"} {
+		if !bytes.Contains(md, []byte(want)) {
+			t.Fatalf("tables.md missing %s section", want)
+		}
+	}
+	if n := bytes.Count(tex, []byte(`\begin{table}`)); n != len(experiments.Catalog()) {
+		t.Fatalf("tables.tex has %d table environments, want %d", n, len(experiments.Catalog()))
+	}
+	man, _ := os.ReadFile(filepath.Join(a, "MANIFEST.json"))
+	if !bytes.Contains(man, []byte(`"schema_version": 1`)) || !bytes.Contains(man, []byte(`"table-ix"`)) {
+		t.Fatalf("manifest malformed:\n%s", man)
+	}
+}
+
+func TestBenchRows(t *testing.T) {
+	batch := []CurvePoint{
+		{Label: "B=1", Offered: 32, OK: 30, Throughput: 25, P50: 0.040, P99: 0.120},
+		{Label: "B=8", Offered: 32, OK: 0}, // nothing completed: no rows
+	}
+	queue := []CurvePoint{
+		{Label: "queue=16", Offered: 40, OK: 40, Throughput: 30, P50: 0.050, P99: 0.300},
+	}
+	rep := BenchRows(batch, queue)
+	names := map[string]BenchRow{}
+	for _, r := range rep.Benchmarks {
+		names[r.Name] = r
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	p50, ok := names["Loadgen_Batch_B1_p50"]
+	if !ok || p50.NsPerOp != 0.040*1e9 || p50.NsPerImage != 1e9/25 {
+		t.Fatalf("batch p50 row wrong: %+v", p50)
+	}
+	if r, ok := names["Loadgen_Queue_queue16_p99"]; !ok || r.NsPerOp != 0.300*1e9 {
+		t.Fatalf("queue p99 row wrong: %+v", r)
+	}
+	if _, ok := names["Loadgen_Batch_B8_p50"]; ok {
+		t.Fatal("zero-completion point produced rows")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+	if err := WriteBenchReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !bytes.Contains(data, []byte(`"benchmarks"`)) || data[len(data)-1] != '\n' {
+		t.Fatal("bench report framing wrong")
+	}
+}
+
+func TestCurveTable(t *testing.T) {
+	pts := []CurvePoint{{Label: "B=2", Offered: 10, OK: 9, Busy: 1, Rate: 40, Throughput: 22.5, P50: 0.03, P95: 0.05, P99: 0.08}}
+	tab := CurveTable("x", pts)
+	var buf bytes.Buffer
+	tab.RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"B=2", "| 9 |", "22.5", "80.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("curve table missing %q:\n%s", want, out)
+		}
+	}
+}

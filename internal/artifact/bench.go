@@ -1,0 +1,82 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRow mirrors cmd/benchjson's Benchmark schema so BENCH_loadgen.json
+// reads with the same tooling as BENCH_inference.json: `benchjson -in`
+// loads it for baseline and history comparison. NsPerOp carries the
+// latency quantile the row names; NsPerImage carries the per-completed-
+// request cost (1e9/throughput) on the _p50 rows, the number the
+// throughput-vs-batch curve compares across occupancies.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerImage  float64 `json:"ns_per_image,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// BenchReport is the document shape shared with cmd/benchjson.
+type BenchReport struct {
+	Benchmarks []BenchRow `json:"benchmarks"`
+}
+
+// BenchRows flattens the measured curves into benchjson rows: one
+// Loadgen_<point>_p50 and _p99 pair per grid point, latencies in
+// nanoseconds. Points that completed nothing are skipped — a NaN
+// quantile is not a row.
+func BenchRows(batch, queue []CurvePoint) BenchReport {
+	rep := BenchReport{Benchmarks: []BenchRow{}}
+	add := func(prefix string, pts []CurvePoint) {
+		for _, p := range pts {
+			if p.OK == 0 {
+				continue
+			}
+			name := fmt.Sprintf("Loadgen_%s%s", prefix, sanitize(p.Label))
+			row := BenchRow{
+				Name:       name + "_p50",
+				Iterations: int64(p.Offered),
+				NsPerOp:    p.P50 * 1e9,
+			}
+			if p.Throughput > 0 {
+				row.NsPerImage = 1e9 / p.Throughput
+			}
+			rep.Benchmarks = append(rep.Benchmarks,
+				row,
+				BenchRow{Name: name + "_p99", Iterations: int64(p.Offered), NsPerOp: p.P99 * 1e9},
+			)
+		}
+	}
+	add("Batch_", batch)
+	add("Queue_", queue)
+	return rep
+}
+
+// sanitize turns a point label ("B=4", "queue=16") into a benchmark-name
+// fragment ("B4", "queue16").
+func sanitize(label string) string {
+	out := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		if c == '=' || c == ' ' {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// WriteBenchReport writes the rows as indented JSON, trailing newline,
+// the same framing benchjson uses for BENCH_inference.json.
+func WriteBenchReport(rep BenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,298 @@
+package artifact
+
+// The measured half of the artifact: open-loop serving-scale curves on a
+// real in-process MLaaS server. Two grids go beyond the paper (which
+// models single-request accelerator latency only):
+//
+//   - throughput vs batch size: the cross-request batch scheduler on its
+//     derived small ring, offered more load than a single evaluation
+//     stream sustains, for occupancies 1..maxBatch;
+//   - queue depth vs latency percentiles: the plain serve path at an
+//     offered rate ~2x one evaluation slot's capacity, with the
+//     admission queue swept from fail-fast to deep — the classic
+//     throughput-for-tail-latency trade.
+//
+// Arrival schedules come from internal/loadgen and are deterministic in
+// the seed; the measured durations are wall-clock and machine-dependent,
+// which is why these tables are never part of the EXPERIMENTS.md drift
+// check and land in BENCH_loadgen.json for history-aware comparison
+// instead.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/loadgen"
+	"fxhenn/internal/mlaas"
+	"fxhenn/internal/report"
+)
+
+// ServingOptions parameterizes the measured curves.
+type ServingOptions struct {
+	// Mode is "quick" (seconds per point) or "full" (more requests and
+	// more grid points; minutes total).
+	Mode string
+	// Seed names the arrival schedules and the key/weight ceremony.
+	Seed int64
+	// Log receives one progress line per grid point (nil discards).
+	Log io.Writer
+}
+
+func (o ServingOptions) full() bool { return o.Mode == "full" }
+
+func (o ServingOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format, args...)
+	}
+}
+
+// CurvePoint is one measured grid point of a serving curve.
+type CurvePoint struct {
+	Label      string  // grid coordinate, e.g. "B=4" or "queue=16"
+	Offered    int     // requests fired
+	OK         int     // successful inferences
+	Busy       int     // StatusBusy refusals
+	Errs       int     // every other failure
+	Rate       float64 // offered req/s (from the schedule)
+	Throughput float64 // completed req/s of wall time
+	P50        float64 // latency quantiles in seconds, measured from
+	P95        float64 // each request's SCHEDULED arrival (coordinated-
+	P99        float64 // omission-safe; see internal/loadgen)
+}
+
+func pointFrom(label string, rate float64, res *loadgen.Result) CurvePoint {
+	return CurvePoint{
+		Label:      label,
+		Offered:    res.Offered,
+		OK:         res.OK,
+		Busy:       res.Errors["busy"],
+		Errs:       res.Failed() - res.Errors["busy"],
+		Rate:       rate,
+		Throughput: res.Throughput(),
+		P50:        res.P(0.50),
+		P95:        res.P(0.95),
+		P99:        res.P(0.99),
+	}
+}
+
+// classify maps request failures onto the small label set the curves
+// report: the server's own typed statuses, timeouts, and transport.
+func classify(err error) string {
+	var se *mlaas.StatusError
+	if errors.As(err, &se) {
+		return se.Code.String()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	return "transport"
+}
+
+// tinyServing holds one in-process server instance (the tiny network at
+// reduced geometry — the same workload as the Inference_Tiny_Wire bench
+// row) plus everything a client needs to drive it.
+type tinyServing struct {
+	server *mlaas.Server
+	addr   string
+
+	params ckks.Parameters
+	pnet   *cnn.Network
+	henet  *hecnn.Network
+	pk     *ckks.PublicKey
+	sk     *ckks.SecretKey
+
+	// Batched path (nil-Size when the instance is plain).
+	bparams ckks.Parameters
+	bnet    *hecnn.BatchedNetwork
+	bpk     *ckks.PublicKey
+	bsk     *ckks.SecretKey
+	batch   int
+}
+
+// startTinyServing brings up a server on a loopback TCP listener exactly
+// the way cmd/mlaas-server does: tiny network, in-process key ceremony,
+// optional cross-request batch scheduler on the derived small ring.
+func startTinyServing(seed int64, maxConcurrent, queueDepth, batch int, window time.Duration) (*tinyServing, func(), error) {
+	inst := &tinyServing{
+		params: ckks.NewParameters(8, 30, 7, 45),
+		pnet:   cnn.NewTinyNet(),
+		batch:  batch,
+	}
+	inst.pnet.InitWeights(seed)
+	inst.henet = hecnn.Compile(inst.pnet, inst.params.Slots())
+
+	kg := ckks.NewKeyGenerator(inst.params, seed)
+	sk := kg.GenSecretKey()
+	inst.sk = sk
+	inst.pk = kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk)
+	rtk := kg.GenRotationKeys(sk, inst.henet.RotationsNeeded(inst.params.MaxLevel()), false)
+
+	cfg := mlaas.Config{
+		MaxConcurrent: maxConcurrent,
+		QueueDepth:    queueDepth,
+	}
+	if batch > 0 {
+		bparams, err := hecnn.BatchedParams(inst.params, batch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch params: %w", err)
+		}
+		bnet, err := hecnn.CompileBatched(inst.pnet, bparams.Slots())
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch compile: %w", err)
+		}
+		bkg := ckks.NewKeyGenerator(bparams, seed+1)
+		bsk := bkg.GenSecretKey()
+		inst.bparams, inst.bnet, inst.bsk = bparams, bnet, bsk
+		inst.bpk = bkg.GenPublicKey(bsk)
+		cfg.Batch = &mlaas.BatchConfig{
+			Params: bparams,
+			Net:    bnet,
+			Rlk:    bkg.GenRelinearizationKey(bsk),
+			Rtk:    bkg.GenRotationKeys(bsk, hecnn.BatchRotations(batch), false),
+			Size:   batch,
+			Window: window,
+		}
+	}
+	inst.server = mlaas.NewServerWithConfig(inst.params, inst.henet, rlk, rtk, cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	inst.addr = l.Addr().String()
+	go inst.server.Serve(l)
+
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		inst.server.Shutdown(ctx)
+	}
+	return inst, stop, nil
+}
+
+// do returns the per-request closure the load generator drives: dial,
+// infer through the appropriate path, compare nothing (the correctness
+// story lives in the functional test suites — here only availability and
+// latency are under measurement). Each request gets its own client so no
+// client state is shared across the open-loop goroutines.
+func (inst *tinyServing) do(seed int64) func(context.Context) error {
+	img := cnn.NewTensor(inst.pnet.InC, inst.pnet.InH, inst.pnet.InW)
+	for j := range img.Data {
+		img.Data[j] = float64(j%7) / 7
+	}
+	var next atomic.Int64
+	return func(ctx context.Context) error {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", inst.addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if dl, ok := ctx.Deadline(); ok {
+			conn.SetDeadline(dl)
+		}
+		n := seed + 100 + next.Add(1)
+		if inst.batch > 0 {
+			client := mlaas.NewBatchClient(inst.bparams, inst.bnet, inst.bpk, inst.bsk, n)
+			_, err = client.Infer(ctx, conn, img)
+		} else {
+			client := mlaas.NewClient(inst.params, inst.henet, inst.pk, inst.sk, n)
+			_, err = client.Infer(ctx, conn, img)
+		}
+		return err
+	}
+}
+
+// ThroughputCurve sweeps the cross-request batch size under a fixed
+// over-capacity open-loop offered load and reports throughput and
+// latency percentiles per occupancy — the scaling curve the paper's
+// single-request latency model cannot show.
+func ThroughputCurve(opt ServingOptions) ([]CurvePoint, error) {
+	sizes := []int{1, 2, 4, 8}
+	n, rate := 32, 40.0
+	if opt.full() {
+		sizes = []int{1, 2, 4, 8, 16}
+		n = 160
+	}
+	var pts []CurvePoint
+	for _, b := range sizes {
+		inst, stop, err := startTinyServing(opt.Seed, 16, 64, b, 15*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("batch=%d: %w", b, err)
+		}
+		sched := loadgen.Exponential(opt.Seed, rate, n)
+		res := loadgen.Run(context.Background(), loadgen.Config{
+			Schedule: sched,
+			Timeout:  30 * time.Second,
+			Classify: classify,
+		}, inst.do(opt.Seed+int64(b)*1000))
+		stop()
+		p := pointFrom(fmt.Sprintf("B=%d", b), sched.Rate(), res)
+		pts = append(pts, p)
+		opt.logf("artifact: loadgen batch %-4s %3d ok / %3d offered, %6.1f req/s, p50 %6.1f ms, p99 %6.1f ms\n",
+			p.Label, p.OK, p.Offered, p.Throughput, p.P50*1e3, p.P99*1e3)
+	}
+	return pts, nil
+}
+
+// QueueCurve sweeps the admission-queue depth on the plain serve path at
+// an offered rate ~2x a single evaluation slot's capacity: fail-fast
+// (depth 0) sheds load as busy refusals with flat latency, deeper queues
+// trade those refusals for tail latency.
+func QueueCurve(opt ServingOptions) ([]CurvePoint, error) {
+	depths := []int{0, 4, 16}
+	n, rate := 40, 50.0
+	if opt.full() {
+		depths = []int{0, 2, 4, 8, 16, 32}
+		n = 160
+	}
+	var pts []CurvePoint
+	for _, q := range depths {
+		inst, stop, err := startTinyServing(opt.Seed, 1, q, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("queue=%d: %w", q, err)
+		}
+		sched := loadgen.Exponential(opt.Seed+1, rate, n)
+		res := loadgen.Run(context.Background(), loadgen.Config{
+			Schedule: sched,
+			Timeout:  30 * time.Second,
+			Classify: classify,
+		}, inst.do(opt.Seed+int64(q)*1000+500))
+		stop()
+		p := pointFrom(fmt.Sprintf("queue=%d", q), sched.Rate(), res)
+		pts = append(pts, p)
+		opt.logf("artifact: loadgen %-9s %3d ok / %3d offered (%3d busy), p50 %6.1f ms, p99 %6.1f ms\n",
+			p.Label, p.OK, p.Offered, p.Busy, p.P50*1e3, p.P99*1e3)
+	}
+	return pts, nil
+}
+
+// CurveTable renders one measured curve as a report table (the same
+// emitters as the paper tables, so the bundle carries the curves in all
+// three formats).
+func CurveTable(title string, pts []CurvePoint) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"point", "offered", "ok", "busy", "err", "offered/s", "ok/s", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			p.Label, report.I(p.Offered), report.I(p.OK), report.I(p.Busy), report.I(p.Errs),
+			fmt.Sprintf("%.1f", p.Rate), fmt.Sprintf("%.1f", p.Throughput),
+			fmt.Sprintf("%.1f", p.P50*1e3), fmt.Sprintf("%.1f", p.P95*1e3), fmt.Sprintf("%.1f", p.P99*1e3),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"open-loop offered load (internal/loadgen); latency measured from scheduled arrival",
+		"wall-clock measurement: machine-dependent, excluded from the EXPERIMENTS.md drift check")
+	return t
+}

@@ -13,7 +13,10 @@ import (
 // (§VI-A), module reuse with DSE-driven allocation (§V-C/VII-C) and the
 // DRAM spill path. This extends the paper's Table IX with the design
 // choices DESIGN.md calls out.
-func (e *Env) Ablations(w io.Writer) {
+// Ablations renders BuildAblations to w.
+func (e *Env) Ablations(w io.Writer) { e.BuildAblations().Render(w) }
+
+func (e *Env) BuildAblations() *report.Table {
 	t := &report.Table{
 		Title:   "Ablations: FxHENN mechanisms on FxHENN-MNIST (ACU9EG)",
 		Headers: []string{"design", "latency s", "slowdown vs full"},
@@ -30,5 +33,5 @@ func (e *Env) Ablations(w io.Writer) {
 		t.AddRow(r.Name, lat, slow)
 	}
 	t.AddNote("every removed mechanism costs latency; together they are the paper's contribution")
-	t.Render(w)
+	return t
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import "fxhenn/internal/report"
+
+// Experiment couples a stable slug to the builder that regenerates its
+// table. The slug names the experiment everywhere the artifact runner
+// touches: the CSV file under artifact/csv/<slug>.csv, the generated
+// markdown/LaTeX bundle sections, and the `<!-- artifact:<slug> -->`
+// markers bounding the generated table bodies in EXPERIMENTS.md.
+type Experiment struct {
+	Slug  string
+	Build func(*Env) *report.Table
+}
+
+// Catalog returns every deterministic experiment in paper order: the
+// nine tables, the four figures, then the beyond-paper ablation and
+// packing studies. All fifteen regenerate from the calibrated models
+// and dry-run op counts alone — no wall-clock measurement — so their
+// output is bit-stable across runs and machines, which is what lets
+// the EXPERIMENTS.md drift test (internal/artifact) compare committed
+// table bodies against a fresh regeneration.
+func Catalog() []Experiment {
+	return []Experiment{
+		{"table-i", (*Env).BuildTableI},
+		{"table-ii", (*Env).BuildTableII},
+		{"table-iii", (*Env).BuildTableIII},
+		{"table-iv", (*Env).BuildTableIV},
+		{"table-v", (*Env).BuildTableV},
+		{"table-vi", (*Env).BuildTableVI},
+		{"table-vii", (*Env).BuildTableVII},
+		{"table-viii", (*Env).BuildTableVIII},
+		{"table-ix", (*Env).BuildTableIX},
+		{"fig-7", (*Env).BuildFig7},
+		{"fig-8", (*Env).BuildFig8},
+		{"fig-9", (*Env).BuildFig9},
+		{"fig-10", (*Env).BuildFig10},
+		{"ablations", (*Env).BuildAblations},
+		{"packing", (*Env).BuildPackingComparison},
+	}
+}

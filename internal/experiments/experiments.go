@@ -43,9 +43,12 @@ func NewEnv() *Env {
 
 func secs(cycles int64) float64 { return hemodel.Seconds(cycles, fpga.ACU9EG.ClockHz) }
 
-// TableI prints the HE operation module microbenchmarks (DSP/BRAM/latency
+// TableI renders BuildTableI to w.
+func (e *Env) TableI(w io.Writer) { e.BuildTableI().Render(w) }
+
+// BuildTableI builds the HE operation module microbenchmarks (DSP/BRAM/latency
 // vs nc_NTT) against the paper's measurements.
-func (e *Env) TableI(w io.Writer) {
+func (e *Env) BuildTableI() *report.Table {
 	g := hemodel.MNISTGeometry
 	t := &report.Table{
 		Title:   "Table I: HE operation modules on ACU9EG (paper vs model)",
@@ -75,12 +78,15 @@ func (e *Env) TableI(w io.Writer) {
 			report.F(row.LatMs), report.F(latMs))
 	}
 	t.AddNote("model calibrated at 230 MHz; N=8192, L=7, 30-bit words")
-	t.Render(w)
+	return t
 }
 
-// TableII prints the preliminary (per-layer dedicated, nc=2) LoLa-MNIST
+// TableII renders BuildTableII to w.
+func (e *Env) TableII(w io.Writer) { e.BuildTableII().Render(w) }
+
+// BuildTableII builds the preliminary (per-layer dedicated, nc=2) LoLa-MNIST
 // design: the §III resource-imbalance observation.
-func (e *Env) TableII(w io.Writer) {
+func (e *Env) BuildTableII() *report.Table {
 	g := hemodel.MNISTGeometry
 	c := hemodel.DefaultConfig()
 	t := &report.Table{
@@ -105,11 +111,14 @@ func (e *Env) TableII(w io.Writer) {
 		report.Pct(paperSumDSP), report.Pct(sumDSP),
 		report.Pct(paperSumBRAM), report.Pct(sumBRAM))
 	t.AddNote("observation preserved: BRAM over-subscribed (>100%%), DSP under-utilized")
-	t.Render(w)
+	return t
 }
 
-// TableIII prints the BRAM-budget impact on layer latency.
-func (e *Env) TableIII(w io.Writer) {
+// TableIII renders BuildTableIII to w.
+func (e *Env) TableIII(w io.Writer) { e.BuildTableIII().Render(w) }
+
+// BuildTableIII builds the BRAM-budget impact on layer latency.
+func (e *Env) BuildTableIII() *report.Table {
 	g := hemodel.MNISTGeometry
 	p := refdata.PaperTableIII
 	t := &report.Table{
@@ -138,11 +147,14 @@ func (e *Env) TableIII(w io.Writer) {
 		report.F(p.Fc1OnchipSec), report.F(secs(cFc.LayerLatencyWithBudget(fc1, g, fcDemand))))
 	t.AddRow("Fc1 (off-chip)", "0",
 		report.F(p.Fc1OffchipSec), report.F(secs(cFc.LayerLatencyWithBudget(fc1, g, 0))))
-	t.Render(w)
+	return t
 }
 
-// TableIV prints the CNN-vs-HE-CNN MAC comparison.
-func (e *Env) TableIV(w io.Writer) {
+// TableIV renders BuildTableIV to w.
+func (e *Env) TableIV(w io.Writer) { e.BuildTableIV().Render(w) }
+
+// BuildTableIV builds the CNN-vs-HE-CNN MAC comparison.
+func (e *Env) BuildTableIV() *report.Table {
 	g := hemodel.MNISTGeometry
 	net := cnn.NewMNISTNet()
 	conv := net.Layers[0].(*cnn.Conv2D)
@@ -164,11 +176,14 @@ func (e *Env) TableIV(w io.Writer) {
 		report.F(float64(heFc)/float64(fc1.MACs())))
 	t.AddNote("CNN MAC ratio Fc1/Cnv1 = %.2f (paper: 4X); HE-MAC ratio = %.2f (paper: 12.95X)",
 		float64(fc1.MACs())/float64(conv.MACs()), float64(heFc)/float64(heCnv))
-	t.Render(w)
+	return t
 }
 
-// TableV prints the two motivating DSE configurations.
-func (e *Env) TableV(w io.Writer) {
+// TableV renders BuildTableV to w.
+func (e *Env) TableV(w io.Writer) { e.BuildTableV().Render(w) }
+
+// BuildTableV builds the two motivating DSE configurations.
+func (e *Env) BuildTableV() *report.Table {
 	g := hemodel.MNISTGeometry
 	cnv1 := e.MNIST.Layer("Cnv1")
 	fc1 := e.MNIST.Layer("Fc1")
@@ -195,11 +210,14 @@ func (e *Env) TableV(w io.Writer) {
 			report.F(row.Sum), report.F(cnvSec+fcSec))
 	}
 	t.AddNote("speedup A over B: paper 2.07X, model %.2fX", sums[1]/sums[0])
-	t.Render(w)
+	return t
 }
 
-// TableVI prints the benchmark network information.
-func (e *Env) TableVI(w io.Writer) {
+// TableVI renders BuildTableVI to w.
+func (e *Env) TableVI(w io.Writer) { e.BuildTableVI().Render(w) }
+
+// BuildTableVI builds the benchmark network information.
+func (e *Env) BuildTableVI() *report.Table {
 	t := &report.Table{
 		Title:   "Table VI: benchmark HE-CNN networks",
 		Headers: []string{"network", "layers", "HOPs 10^3 paper", "HOPs 10^3 ours", "KS ours", "Mod.Size MB paper", "Mod.Size MB ours"},
@@ -214,11 +232,14 @@ func (e *Env) TableVI(w io.Writer) {
 	}
 	t.AddNote("accuracy (paper: 98.9%% / 74.1%%) is not reproducible without the trained LoLa models;")
 	t.AddNote("our weights are synthetic — encrypted inference is instead verified exactly against plaintext inference")
-	t.Render(w)
+	return t
 }
 
-// TableVII prints the end-to-end comparison against published systems.
-func (e *Env) TableVII(w io.Writer) {
+// TableVII renders BuildTableVII to w.
+func (e *Env) TableVII(w io.Writer) { e.BuildTableVII().Render(w) }
+
+// BuildTableVII builds the end-to-end comparison against published systems.
+func (e *Env) BuildTableVII() *report.Table {
 	t := &report.Table{
 		Title:   "Table VII: HE-CNN inference on MNIST and CIFAR-10",
 		Headers: []string{"system", "MNIST s", "CIFAR s", "platform", "TDP W", "scheme"},
@@ -276,11 +297,14 @@ func (e *Env) TableVII(w io.Writer) {
 			afv.MNIST.LatencySeconds/r.mnist.Seconds,
 			afv.MNIST.LatencySeconds*afv.TDPWatts/(r.mnist.Seconds*r.dev.TDPWatts))
 	}
-	t.Render(w)
+	return t
 }
 
-// TableVIII prints the single-convolution-layer comparison with FPL'21.
-func (e *Env) TableVIII(w io.Writer) {
+// TableVIII renders BuildTableVIII to w.
+func (e *Env) TableVIII(w io.Writer) { e.BuildTableVIII().Render(w) }
+
+// BuildTableVIII builds the single-convolution-layer comparison with FPL'21.
+func (e *Env) BuildTableVIII() *report.Table {
 	t := &report.Table{
 		Title:   "Table VIII: convolutional layers vs FPL'21 (ResNet-50, N=2048, 54-bit q)",
 		Headers: []string{"layer", "FPL'21 DSP", "FPL'21 ms", "FxHENN DSP", "ms paper", "ms model", "speedup paper", "speedup model"},
@@ -293,11 +317,14 @@ func (e *Env) TableVIII(w io.Writer) {
 			fmt.Sprintf("%.2fX", row.FPLLatencyMs/ours))
 	}
 	t.AddNote("equal-work DSP-normalized comparison; fine-grained pipeline gain calibrated on conv1")
-	t.Render(w)
+	return t
 }
 
-// TableIX prints baseline vs FxHENN peak/aggregate utilization and latency.
-func (e *Env) TableIX(w io.Writer) {
+// TableIX renders BuildTableIX to w.
+func (e *Env) TableIX(w io.Writer) { e.BuildTableIX().Render(w) }
+
+// BuildTableIX builds baseline vs FxHENN peak/aggregate utilization and latency.
+func (e *Env) BuildTableIX() *report.Table {
 	dev := fpga.ACU9EG
 	g := hemodel.MNISTGeometry
 	bl := dse.Baseline(e.MNIST, dev)
@@ -331,5 +358,5 @@ func (e *Env) TableIX(w io.Writer) {
 	t.AddNote("aggregate > peak for FxHENN = computation and storage reused across layers (§VII-C)")
 	t.AddNote("baseline speedup: paper %.2fX, repro %.2fX",
 		p.BaselineSeconds/p.FxSeconds, bl.Seconds(dev)/opt.Best.Seconds)
-	t.Render(w)
+	return t
 }

@@ -74,6 +74,34 @@ func TestEveryExperimentRenders(t *testing.T) {
 	}
 }
 
+// TestCatalogCoversEveryExperiment: the artifact catalog names all
+// fifteen deterministic experiments with unique slugs, and every
+// builder regenerates bit-identical output across two invocations —
+// the property the EXPERIMENTS.md drift test rests on.
+func TestCatalogCoversEveryExperiment(t *testing.T) {
+	e := getEnv(t)
+	cat := Catalog()
+	if len(cat) != 15 {
+		t.Fatalf("catalog has %d experiments, want 15", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, exp := range cat {
+		if seen[exp.Slug] {
+			t.Fatalf("duplicate slug %q", exp.Slug)
+		}
+		seen[exp.Slug] = true
+		var a, b bytes.Buffer
+		exp.Build(e).RenderMarkdown(&a)
+		exp.Build(e).RenderMarkdown(&b)
+		if a.Len() == 0 {
+			t.Fatalf("%s: empty table", exp.Slug)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s: nondeterministic output", exp.Slug)
+		}
+	}
+}
+
 // TestTableVII_ReproBeatsEveryPublishedSystem: our modeled FxHENN rows must
 // be the fastest MNIST systems in the table, as in the paper.
 func TestTableVII_ReproBeatsEveryPublishedSystem(t *testing.T) {

@@ -11,9 +11,12 @@ import (
 	"fxhenn/internal/report"
 )
 
-// Fig7 prints the per-layer BRAM usage and latency of the baseline and
+// Fig7 renders BuildFig7 to w.
+func (e *Env) Fig7(w io.Writer) { e.BuildFig7().Render(w) }
+
+// BuildFig7 builds the per-layer BRAM usage and latency of the baseline and
 // FxHENN designs for FxHENN-MNIST on the ACU9EG.
-func (e *Env) Fig7(w io.Writer) {
+func (e *Env) BuildFig7() *report.Table {
 	dev := fpga.ACU9EG
 	bl := dse.Baseline(e.MNIST, dev)
 	d, err := accel.Generate(e.MNIST, dev)
@@ -40,12 +43,15 @@ func (e *Env) Fig7(w io.Writer) {
 	}
 	t.AddNote("FxHENN shares the full BRAM pool across layers (inter-layer reuse), so the")
 	t.AddNote("bottleneck Fc1 layer gets most of the device instead of a fixed slice (paper: 6.63X on Fc1)")
-	t.Render(w)
+	return t
 }
 
-// Fig8 prints the per-layer DSP usage of each HE operation, baseline vs
+// Fig8 renders BuildFig8 to w.
+func (e *Env) Fig8(w io.Writer) { e.BuildFig8().Render(w) }
+
+// BuildFig8 builds the per-layer DSP usage of each HE operation, baseline vs
 // FxHENN, showing module-level reuse.
-func (e *Env) Fig8(w io.Writer) {
+func (e *Env) BuildFig8() *report.Table {
 	dev := fpga.ACU9EG
 	bl := dse.Baseline(e.MNIST, dev)
 	d, err := accel.Generate(e.MNIST, dev)
@@ -77,13 +83,16 @@ func (e *Env) Fig8(w io.Writer) {
 	}
 	t.AddNote("FxHENN rows repeat shared module instances across layers (reuse);")
 	t.AddNote("baseline rows are per-layer private instances")
-	t.Render(w)
+	return t
 }
 
-// Fig9 prints the BRAM-budget sweep: best achievable latency and number of
+// Fig9 renders BuildFig9 to w.
+func (e *Env) Fig9(w io.Writer) { e.BuildFig9().Render(w) }
+
+// BuildFig9 builds the BRAM-budget sweep: best achievable latency and number of
 // feasible design points per budget, plus the Pareto frontier, and where
 // the generated ACU9EG/ACU15EG designs land.
-func (e *Env) Fig9(w io.Writer) {
+func (e *Env) BuildFig9() *report.Table {
 	dev := fpga.ACU9EG
 	t := &report.Table{
 		Title:   "Fig. 9: DSE design space for FxHENN-MNIST vs BRAM budget",
@@ -114,12 +123,15 @@ func (e *Env) Fig9(w io.Writer) {
 	d15, _ := accel.Generate(e.MNIST, fpga.ACU15EG)
 	t.AddNote("generated ACU9EG design: BRAM=%d, %.3f s; ACU15EG: BRAM=%d, %.3f s",
 		d9.Solution.BRAM, d9.Solution.Seconds, d15.Solution.BRAM, d15.Solution.Seconds)
-	t.Render(w)
+	return t
 }
 
-// Fig10 prints the optimal intra-/inter-parallelism of every HE operation
+// Fig10 renders BuildFig10 to w.
+func (e *Env) Fig10(w io.Writer) { e.BuildFig10().Render(w) }
+
+// BuildFig10 builds the optimal intra-/inter-parallelism of every HE operation
 // module for both networks on both devices.
-func (e *Env) Fig10(w io.Writer) {
+func (e *Env) BuildFig10() *report.Table {
 	t := &report.Table{
 		Title:   "Fig. 10: optimal module parallelism (intra/inter) per network and device",
 		Headers: []string{"network", "device", "nc_NTT", "CCadd", "PCmult", "CCmult", "Rescale", "KeySwitch"},
@@ -141,7 +153,7 @@ func (e *Env) Fig10(w io.Writer) {
 		}
 	}
 	t.AddNote("paper shape: CCmult parallelism stays 1; CIFAR10 KeySwitch minimal on ACU9EG (N=2^14 doubles buffers)")
-	t.Render(w)
+	return t
 }
 
 // All runs every experiment in paper order.

@@ -16,7 +16,10 @@ import (
 // latency) versus CryptoNets-style batched packing (no rotations, one
 // image per slot — high throughput). The paper quotes this trade through
 // its related-work latencies; here both schemes run through the same DSE.
-func (e *Env) PackingComparison(w io.Writer) {
+// PackingComparison renders BuildPackingComparison to w.
+func (e *Env) PackingComparison(w io.Writer) { e.BuildPackingComparison().Render(w) }
+
+func (e *Env) BuildPackingComparison() *report.Table {
 	dev := fpga.ACU9EG
 	slots := 4096
 
@@ -52,5 +55,5 @@ func (e *Env) PackingComparison(w io.Writer) {
 	}
 	t.AddNote("the batched scheme eliminates rotations (KS from relinearization only) but")
 	t.AddNote("pays per-batch latency — the CryptoNets-vs-LoLa trade of §II-B / Table VII")
-	t.Render(w)
+	return t
 }

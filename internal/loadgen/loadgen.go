@@ -1,0 +1,199 @@
+// Package loadgen is a deterministic open-loop load generator for the
+// serving-scale curves of the artifact runner (DESIGN.md §15).
+//
+// Open-loop means arrivals follow a pre-computed schedule and never wait
+// for earlier requests to complete: a slow server faces a growing backlog
+// exactly as it would behind real independent clients, instead of the
+// closed-loop artifact where N captive workers slow their own offered
+// load down to whatever the server sustains. Latency is measured from
+// each request's SCHEDULED arrival time, not from whenever the generator
+// got around to sending it, so queueing delay inflicted by the system
+// under test is charged to the system — the standard guard against
+// coordinated omission.
+//
+// The arrival schedule is derived from a seeded PRNG, so a (seed, rate,
+// n) triple names one exact workload: two runs offer byte-identical
+// request sequences at identical offsets, and only the measured
+// durations differ.
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fxhenn/internal/telemetry"
+)
+
+// Schedule is a set of arrival offsets from the start of a run,
+// ascending.
+type Schedule []time.Duration
+
+// Exponential returns n Poisson-process arrival offsets at the given
+// mean rate (requests/second), deterministic in the seed. The offsets
+// are the running sum of exponentially distributed inter-arrival gaps,
+// the standard open-loop arrival model.
+func Exponential(seed int64, rate float64, n int) Schedule {
+	if n <= 0 || rate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := make(Schedule, n)
+	var at float64 // seconds
+	for i := range s {
+		at += rng.ExpFloat64() / rate
+		s[i] = time.Duration(at * float64(time.Second))
+	}
+	return s
+}
+
+// Uniform returns n evenly spaced arrival offsets at the given rate:
+// the first request fires immediately, then one every 1/rate seconds.
+func Uniform(rate float64, n int) Schedule {
+	if n <= 0 || rate <= 0 {
+		return nil
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	s := make(Schedule, n)
+	for i := range s {
+		s[i] = time.Duration(i) * gap
+	}
+	return s
+}
+
+// Rate returns the schedule's mean offered rate in requests/second.
+func (s Schedule) Rate() float64 {
+	if len(s) == 0 || s[len(s)-1] <= 0 {
+		return 0
+	}
+	return float64(len(s)) / s[len(s)-1].Seconds()
+}
+
+// Config parameterizes one Run.
+type Config struct {
+	// Schedule is the arrival plan; Run fires one request per entry.
+	Schedule Schedule
+	// Timeout bounds each request's context (0 = no per-request bound;
+	// the Run ctx still applies).
+	Timeout time.Duration
+	// Classify maps a request error to a small label ("busy", "timeout",
+	// …) for Result.Errors. Nil classifies every error as "error".
+	Classify func(error) string
+}
+
+// Result aggregates one Run.
+type Result struct {
+	Offered int            // requests fired (len(Schedule), minus any cut off by ctx)
+	OK      int            // requests whose do() returned nil
+	Errors  map[string]int // failed requests by Classify label
+	Wall    time.Duration  // first scheduled arrival to last completion
+	// Latency holds one observation per request, in seconds, measured
+	// from the request's scheduled arrival — not its actual send — so
+	// generator lateness and server queueing both count against the
+	// system under test (coordinated-omission avoidance).
+	Latency *telemetry.Histogram
+}
+
+// Failed returns the total number of failed requests.
+func (r *Result) Failed() int {
+	var n int
+	for _, c := range r.Errors {
+		n += c
+	}
+	return n
+}
+
+// Throughput returns completed requests per second of wall time.
+func (r *Result) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// P returns the q-quantile request latency in seconds (NaN when no
+// requests completed).
+func (r *Result) P(q float64) float64 {
+	if r.Latency == nil {
+		return math.NaN()
+	}
+	return r.Latency.Quantile(q)
+}
+
+// Run drives do once per schedule entry, open-loop: each request fires
+// at its scheduled offset regardless of how many earlier requests are
+// still in flight. Run returns after every fired request completes or
+// ctx is cancelled; requests not yet fired at cancellation are dropped
+// from Offered.
+func Run(ctx context.Context, cfg Config, do func(context.Context) error) *Result {
+	sched := append(Schedule(nil), cfg.Schedule...)
+	sort.Slice(sched, func(i, j int) bool { return sched[i] < sched[j] })
+
+	res := &Result{
+		Errors:  make(map[string]int),
+		Latency: telemetry.NewHistogram(nil),
+	}
+	classify := cfg.Classify
+	if classify == nil {
+		classify = func(error) string { return "error" }
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		last time.Time
+	)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for _, offset := range sched {
+		// Wait out the gap to this arrival without drifting: the target
+		// is start+offset on the absolute clock, so a long previous gap
+		// never delays later arrivals.
+		if d := time.Until(start.Add(offset)); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		res.Offered++
+		scheduled := start.Add(offset)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx := ctx
+			if cfg.Timeout > 0 {
+				var cancel context.CancelFunc
+				rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				defer cancel()
+			}
+			err := do(rctx)
+			done := time.Now()
+			res.Latency.Observe(done.Sub(scheduled).Seconds())
+			mu.Lock()
+			if err != nil {
+				res.Errors[classify(err)]++
+			} else {
+				res.OK++
+			}
+			if done.After(last) {
+				last = done
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	if res.Offered > 0 && last.After(start) {
+		res.Wall = last.Sub(start)
+	}
+	mu.Unlock()
+	return res
+}

@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExponentialDeterministic: the same (seed, rate, n) triple yields
+// the identical schedule; a different seed yields a different one.
+func TestExponentialDeterministic(t *testing.T) {
+	a := Exponential(7, 100, 500)
+	b := Exponential(7, 100, 500)
+	if len(a) != 500 {
+		t.Fatalf("len = %d, want 500", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Exponential(8, 100, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+// TestExponentialRate: the mean offered rate converges on the requested
+// rate, and offsets ascend.
+func TestExponentialRate(t *testing.T) {
+	s := Exponential(1, 200, 2000)
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("offsets not ascending at %d", i)
+		}
+	}
+	if r := s.Rate(); math.Abs(r-200)/200 > 0.15 {
+		t.Fatalf("mean rate %.1f too far from 200", r)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := Uniform(100, 5)
+	want := Schedule{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("offset %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+	if Uniform(0, 5) != nil || Uniform(100, 0) != nil {
+		t.Fatal("degenerate schedules should be nil")
+	}
+}
+
+// TestRunCountsDeterministic: with an instantaneous stub, every offered
+// request completes and the OK/error split is exactly the stub's.
+func TestRunCountsDeterministic(t *testing.T) {
+	var n atomic.Int64
+	busy := errors.New("busy")
+	res := Run(context.Background(), Config{
+		Schedule: Exponential(3, 5000, 200),
+		Classify: func(err error) string { return err.Error() },
+	}, func(context.Context) error {
+		if n.Add(1)%4 == 0 {
+			return busy
+		}
+		return nil
+	})
+	if res.Offered != 200 {
+		t.Fatalf("Offered = %d, want 200", res.Offered)
+	}
+	if res.OK != 150 || res.Errors["busy"] != 50 {
+		t.Fatalf("OK=%d Errors=%v, want 150/50", res.OK, res.Errors)
+	}
+	if res.Failed() != 50 {
+		t.Fatalf("Failed = %d", res.Failed())
+	}
+	if got := res.Latency.Count(); got != 200 {
+		t.Fatalf("latency observations = %d, want 200", got)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+// TestRunOpenLoop: arrivals do NOT wait for a slow in-flight request —
+// with one 150ms straggler and ~40 fast requests offered over ~40ms,
+// the run's wall time is dominated by the straggler, not 40×150ms as a
+// closed loop would produce.
+func TestRunOpenLoop(t *testing.T) {
+	var n atomic.Int64
+	start := time.Now()
+	res := Run(context.Background(), Config{
+		Schedule: Uniform(1000, 40),
+	}, func(context.Context) error {
+		if n.Add(1) == 1 {
+			time.Sleep(150 * time.Millisecond)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if res.OK != 40 {
+		t.Fatalf("OK = %d, want 40", res.OK)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("run serialized behind the straggler: %v", elapsed)
+	}
+	// The straggler's latency is charged in full.
+	if max := res.Latency.Max(); max < 0.14 {
+		t.Fatalf("straggler latency lost: max %.3fs", max)
+	}
+}
+
+// TestRunMeasuresFromScheduledArrival: a do() that sleeps means later
+// requests still launch on schedule, and every latency is at least the
+// service time — measured from scheduled arrival, not send time.
+func TestRunMeasuresFromScheduledArrival(t *testing.T) {
+	const service = 20 * time.Millisecond
+	res := Run(context.Background(), Config{
+		Schedule: Uniform(500, 10),
+	}, func(context.Context) error {
+		time.Sleep(service)
+		return nil
+	})
+	if res.Latency.Min() < service.Seconds()*0.9 {
+		t.Fatalf("min latency %.4fs below service time", res.Latency.Min())
+	}
+}
+
+// TestRunContextCancel: cancelling mid-schedule stops firing new
+// requests; already-fired ones are drained and counted.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	res := Run(ctx, Config{
+		Schedule: Uniform(100, 1000), // would take 10s to offer fully
+	}, func(context.Context) error {
+		if n.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if res.Offered >= 1000 {
+		t.Fatalf("cancellation did not stop the schedule: offered %d", res.Offered)
+	}
+	if res.OK+res.Failed() != res.Offered {
+		t.Fatalf("offered %d != completed %d", res.Offered, res.OK+res.Failed())
+	}
+}
+
+// TestRunTimeoutClassified: a per-request timeout surfaces as the
+// classified error, not a hang.
+func TestRunTimeoutClassified(t *testing.T) {
+	res := Run(context.Background(), Config{
+		Schedule: Uniform(1000, 3),
+		Timeout:  10 * time.Millisecond,
+		Classify: func(err error) string {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return "timeout"
+			}
+			return "other"
+		},
+	}, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if res.Errors["timeout"] != 3 {
+		t.Fatalf("Errors = %v, want 3 timeouts", res.Errors)
+	}
+}

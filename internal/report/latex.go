@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderLaTeX writes the table as a self-contained LaTeX table
+// environment (booktabs-free, so it compiles with plain article.cls):
+// the title becomes the caption, notes become footnotesize lines under
+// the tabular, and every cell is escaped for LaTeX special characters.
+func (t *Table) RenderLaTeX(w io.Writer) {
+	fmt.Fprintln(w, "\\begin{table}[ht]")
+	fmt.Fprintln(w, "\\centering")
+	if t.Title != "" {
+		fmt.Fprintf(w, "\\caption{%s}\n", escapeLaTeX(t.Title))
+	}
+	cols := strings.Repeat("l", len(t.Headers))
+	fmt.Fprintf(w, "\\begin{tabular}{%s}\n", cols)
+	fmt.Fprintln(w, "\\hline")
+	fmt.Fprintln(w, strings.Join(escapeAll(t.Headers, escapeLaTeX), " & ")+" \\\\")
+	fmt.Fprintln(w, "\\hline")
+	for _, row := range t.Rows {
+		cells := escapeAll(row, escapeLaTeX)
+		for len(cells) < len(t.Headers) {
+			cells = append(cells, "")
+		}
+		fmt.Fprintln(w, strings.Join(cells, " & ")+" \\\\")
+	}
+	fmt.Fprintln(w, "\\hline")
+	fmt.Fprintln(w, "\\end{tabular}")
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\\par\\footnotesize %s\n", escapeLaTeX(n))
+	}
+	fmt.Fprintln(w, "\\end{table}")
+}
+
+// latexReplacer maps LaTeX special characters to their escaped forms.
+// Backslash must not be re-escaped by later rules, so it maps through
+// \textbackslash{} (which contains no further specials after the braces
+// are emitted literally by the replacer's single pass).
+var latexReplacer = strings.NewReplacer(
+	"\\", "\\textbackslash{}",
+	"&", "\\&",
+	"%", "\\%",
+	"$", "\\$",
+	"#", "\\#",
+	"_", "\\_",
+	"{", "\\{",
+	"}", "\\}",
+	"~", "\\textasciitilde{}",
+	"^", "\\textasciicircum{}",
+	"\n", " ",
+)
+
+func escapeLaTeX(s string) string { return latexReplacer.Replace(s) }

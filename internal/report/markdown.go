@@ -1,0 +1,50 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table:
+// header row, separator, data rows, then the notes as emphasized lines.
+// Cell content is escaped so pipes and newlines cannot break the grid.
+// The title is NOT emitted — callers place the table under their own
+// heading (EXPERIMENTS.md keeps its prose headings; the artifact bundle
+// adds its own).
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintln(w, "| "+strings.Join(escapeAll(t.Headers, escapeMarkdownCell), " | ")+" |")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintln(w, "|"+strings.Join(sep, "|")+"|")
+	for _, row := range t.Rows {
+		cells := escapeAll(row, escapeMarkdownCell)
+		// Short rows pad to the header width so the grid stays rectangular.
+		for len(cells) < len(t.Headers) {
+			cells = append(cells, "")
+		}
+		fmt.Fprintln(w, "| "+strings.Join(cells, " | ")+" |")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", escapeMarkdownCell(n))
+	}
+}
+
+// escapeMarkdownCell neutralizes the characters that would break a
+// markdown table cell: pipes become entities and newlines collapse to
+// spaces.
+func escapeMarkdownCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
+func escapeAll(cells []string, esc func(string) string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = esc(c)
+	}
+	return out
+}

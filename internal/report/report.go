@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -68,17 +69,20 @@ func (t *Table) Render(w io.Writer) {
 }
 
 // RenderCSV writes the table as CSV (headers + rows; title and notes as
-// comment lines).
+// comment lines). Cells containing commas, quotes, or newlines are
+// quoted per RFC 4180 via encoding/csv.
 func (t *Table) RenderCSV(w io.Writer) {
 	if t.Title != "" {
 		fmt.Fprintf(w, "# %s\n", t.Title)
 	}
-	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	cw := csv.NewWriter(w)
+	cw.Write(t.Headers) //nolint:errcheck // surfaced by Flush below
 	for _, row := range t.Rows {
-		fmt.Fprintln(w, strings.Join(row, ","))
+		cw.Write(row) //nolint:errcheck
 	}
+	cw.Flush()
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "# %s\n", n)
+		fmt.Fprintf(w, "# %s\n", strings.ReplaceAll(n, "\n", " "))
 	}
 }
 

@@ -2,9 +2,14 @@ package report
 
 import (
 	"bytes"
+	"flag"
+	"os"
 	"strings"
 	"testing"
 )
+
+// update regenerates the golden files instead of comparing against them.
+var update = flag.Bool("update", false, "rewrite testdata golden files")
 
 func sample() *Table {
 	t := &Table{
@@ -75,5 +80,168 @@ func TestRenderHandlesRaggedRows(t *testing.T) {
 	tb.Render(&buf) // must not panic
 	if !strings.Contains(buf.String(), "extra") {
 		t.Fatal("extra cell dropped")
+	}
+}
+
+// hostile builds a table whose cells contain every character each
+// emitter must escape.
+func hostile() *Table {
+	t := &Table{
+		Title:   "Hostile | table & 100% _test_",
+		Headers: []string{"name", "value,with,commas"},
+	}
+	t.AddRow("pipe|cell", `quote"cell`)
+	t.AddRow("latex$#%&{}~^\\", "multi\nline")
+	t.AddNote("note with | pipe and 50%% literal")
+	return t
+}
+
+func TestRenderCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	hostile().RenderCSV(&buf)
+	out := buf.String()
+	// The comma-bearing header must be quoted; the quote-bearing cell must
+	// be doubled-and-quoted; the newline cell must stay inside one record.
+	if !strings.Contains(out, `"value,with,commas"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"quote""cell"`) {
+		t.Fatalf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "\"multi\nline\"") {
+		t.Fatalf("newline cell not quoted:\n%s", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	sample().RenderMarkdown(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "| name | value |" {
+		t.Fatalf("header row wrong: %q", lines[0])
+	}
+	if lines[1] != "|---|---|" {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	if lines[2] != "| alpha | 1 |" {
+		t.Fatalf("data row wrong: %q", lines[2])
+	}
+	if !strings.Contains(out, "*a note with 2 args*") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestRenderMarkdownEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	hostile().RenderMarkdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `pipe\|cell`) {
+		t.Fatalf("pipe not escaped:\n%s", out)
+	}
+	if strings.Contains(out, "multi\nline") {
+		t.Fatalf("newline survived into a cell:\n%s", out)
+	}
+	// Every data line has the same number of unescaped column separators.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		n := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|")
+		if n != 3 {
+			t.Fatalf("row has %d separators, want 3: %q", n, line)
+		}
+	}
+}
+
+func TestRenderMarkdownPadsShortRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b", "c"}}
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	tb.RenderMarkdown(&buf)
+	if !strings.Contains(buf.String(), "| only |  |  |") {
+		t.Fatalf("short row not padded:\n%s", buf.String())
+	}
+}
+
+func TestRenderLaTeX(t *testing.T) {
+	var buf bytes.Buffer
+	sample().RenderLaTeX(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"\\begin{table}[ht]",
+		"\\caption{Sample}",
+		"\\begin{tabular}{ll}",
+		"name & value \\\\",
+		"alpha & 1 \\\\",
+		"\\footnotesize a note with 2 args",
+		"\\end{table}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLaTeXEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	hostile().RenderLaTeX(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`\$\#\%\&\{\}`,
+		`\textasciitilde{}`,
+		`\textasciicircum{}`,
+		`\textbackslash{}`,
+		`100\% \_test\_`, // title specials escaped in the caption
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// No unescaped specials outside LaTeX commands: every remaining & is
+	// a column separator, of which each row has exactly one (2 columns).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, "\\\\") {
+			if n := strings.Count(strings.ReplaceAll(line, `\&`, ""), "&"); n != 1 {
+				t.Fatalf("row has %d separators, want 1: %q", n, line)
+			}
+		}
+	}
+}
+
+// TestGoldenEmitters pins the full output of all three structured
+// emitters for one representative table against committed golden files,
+// so an accidental format change shows as a readable diff.
+func TestGoldenEmitters(t *testing.T) {
+	tb := &Table{
+		Title:   "Golden: emitters, v1",
+		Headers: []string{"layer", "lat s", "note,worthy"},
+	}
+	tb.AddRow("Cnv1", "0.061", "on-chip")
+	tb.AddRow("Fc1|odd", "0.268", `says "hi"`)
+	tb.AddNote("calibrated at 230 MHz, 100%% deterministic")
+	for _, tc := range []struct {
+		name   string
+		render func(*Table, *bytes.Buffer)
+	}{
+		{"golden.csv", func(tb *Table, b *bytes.Buffer) { tb.RenderCSV(b) }},
+		{"golden.md", func(tb *Table, b *bytes.Buffer) { tb.RenderMarkdown(b) }},
+		{"golden.tex", func(tb *Table, b *bytes.Buffer) { tb.RenderLaTeX(b) }},
+	} {
+		var buf bytes.Buffer
+		tc.render(tb, &buf)
+		want, err := os.ReadFile("testdata/" + tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with go test -run TestGoldenEmitters -update)", tc.name, err)
+		}
+		if *update {
+			want = buf.Bytes()
+			if err := os.WriteFile("testdata/"+tc.name, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if buf.String() != string(want) {
+			t.Errorf("%s drifted:\n--- got ---\n%s\n--- want ---\n%s", tc.name, buf.String(), want)
+		}
 	}
 }

@@ -46,6 +46,38 @@ func TestREADMEFlagsExist(t *testing.T) {
 	}
 }
 
+// TestREADMECoversAllCommands is the inverse direction: every binary
+// under cmd/ must be documented in the README with at least one
+// `./cmd/<name>` invocation (which TestREADMEFlagsExist then validates
+// flag-by-flag). A new command added without README coverage — or a
+// documented command that was deleted — fails here.
+func TestREADMECoversAllCommands(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := readmeCmdFlags(string(readme))
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		onDisk[e.Name()] = true
+		if _, ok := documented[e.Name()]; !ok {
+			t.Errorf("cmd/%s has no `./cmd/%s` invocation in README.md", e.Name(), e.Name())
+		}
+	}
+	for name := range documented {
+		if !onDisk[name] {
+			t.Errorf("README.md documents ./cmd/%s but cmd/%s does not exist", name, name)
+		}
+	}
+}
+
 // readmeCmdFlags extracts, per cmd binary, the set of -flags the README
 // shows being passed to it (table rows and code blocks, with backslash
 // line continuations joined).
@@ -59,6 +91,9 @@ func readmeCmdFlags(readme string) map[string][]string {
 		name := m[1]
 		if seen[name] == nil {
 			seen[name] = map[string]bool{}
+			if _, ok := out[name]; !ok {
+				out[name] = nil // register flagless invocations too
+			}
 		}
 		for _, fm := range flagRe.FindAllStringSubmatch(m[2], -1) {
 			// Skip value tokens that happen to contain dashes by only
