@@ -1,10 +1,10 @@
 GO ?= go
 
 # COVERAGE_FLOOR is the committed minimum total statement coverage over
-# ./internal/... (the tree sat at ~89.4% when the floor was last raised,
-# after the batched-serving suites landed); `make cover` and the CI
+# ./internal/... (the tree sat at ~90.1% when the floor was last raised,
+# after the BSGS/Montgomery suites landed); `make cover` and the CI
 # coverage job fail below it.
-COVERAGE_FLOOR ?= 88.0
+COVERAGE_FLOOR ?= 89.0
 
 .PHONY: build test verify race bench cover clean artifact
 
@@ -26,13 +26,26 @@ verify:
 race:
 	$(GO) test -race ./...
 
-# bench runs the full benchmark suite and writes BENCH_inference.json
-# with the ns/op of the per-network encrypted-inference benchmarks. The
-# intermediate file keeps go test's exit code visible through the pipe.
+# bench writes BENCH_inference.json: the per-network encrypted-inference
+# benchmarks plus the per-op Kernel_ microbenchmarks the CI kernel gate
+# compares. Two passes: the heavyweight MNIST rows run one iteration
+# each, while the rows ci.yml actually gates (Inference_Tiny*, Kernel_*)
+# run in their own fresh process at -benchtime=5x — the exact conditions
+# the gate re-measures them under, isolated from the gigabytes of
+# garbage the MNIST rows leave behind (observed inflating the kernel
+# rows up to 3.5× when they shared the process). Both passes use
+# -count=3 and benchjson collapses the samples per row to their median:
+# multi-second host contention windows were observed inflating a single
+# seconds-long sample up to 4×, and a median-of-3 baseline can't be
+# skewed by one of them. Each run is also appended to the rolling
+# BENCH_history.jsonl, so before/after pairs of an optimization are
+# preserved locally. The intermediate file keeps go test's exit code
+# visible through the pipe.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_inference.json < bench.out
+	$(GO) test -bench='Inference_MNIST|Train' -benchtime=1x -count=3 -run=^$$ . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -bench='Inference_Tiny|Kernel_' -benchtime=5x -count=3 -run=^$$ . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_inference.json -history BENCH_history.jsonl -regress-pct 10000 < bench.out
 	rm -f bench.out
 
 # artifact is the one-command paper reproduction (ARTIFACT.md): verify

@@ -10,6 +10,11 @@
 // Benchmarks only in one of the two reports are listed but never fail
 // the run, so adding a benchmark does not break CI.
 //
+// Repeated benchmark names on stdin (a `go test -count=N` run) collapse
+// into one row per name carrying the per-metric median, so both the
+// committed baseline and the gate's fresh measurement can be
+// median-of-3 instead of a single noisy sample.
+//
 // With -in the report is loaded from an existing JSON file instead of
 // parsing bench text on stdin — the path cmd/artifact's
 // BENCH_loadgen.json takes through the same gates.
@@ -64,7 +69,7 @@ type Report struct {
 func main() {
 	out := flag.String("out", "BENCH_inference.json", "JSON report path")
 	in := flag.String("in", "", "load the report from this JSON file instead of parsing bench text on stdin (empty reads stdin)")
-	filter := flag.String("filter", "Inference_", "keep benchmarks whose trimmed name contains this substring (empty keeps all; ignored with -in)")
+	filter := flag.String("filter", "Inference_,Kernel_", "keep benchmarks whose trimmed name contains any of these comma-separated substrings (empty keeps all; ignored with -in)")
 	baseline := flag.String("baseline", "", "committed report to compare against; exit nonzero on regression (empty disables)")
 	regressPct := flag.Float64("regress-pct", 25, "with -baseline/-history: fail when ns/op exceeds the reference by more than this percentage")
 	history := flag.String("history", "", "rolling JSONL history: compare against the median of the last -history-window entries, then append this run (empty disables)")
@@ -92,7 +97,7 @@ func main() {
 			if !ok {
 				continue
 			}
-			if *filter != "" && !strings.Contains(b.Name, *filter) {
+			if !matchFilter(b.Name, *filter) {
 				continue
 			}
 			rep.Benchmarks = append(rep.Benchmarks, b)
@@ -102,6 +107,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	rep.Benchmarks = mergeDuplicates(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -125,6 +131,67 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// mergeDuplicates collapses repeated benchmark names (a `-count=N` run
+// emits each benchmark N times) into one row per name carrying the
+// per-metric median, in first-appearance order. One noisy sample on a
+// shared host then moves neither the committed baseline nor the CI
+// gate's fresh measurement — both sides run the gated rows with
+// -count=3 and compare median against median.
+func mergeDuplicates(bs []Benchmark) []Benchmark {
+	var order []string
+	groups := map[string][]Benchmark{}
+	for _, b := range bs {
+		if _, ok := groups[b.Name]; !ok {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		med := func(f func(Benchmark) float64) float64 {
+			vals := make([]float64, len(g))
+			for i, b := range g {
+				vals[i] = f(b)
+			}
+			return median(vals)
+		}
+		out = append(out, Benchmark{
+			Name:        name,
+			Iterations:  g[0].Iterations,
+			NsPerOp:     med(func(b Benchmark) float64 { return b.NsPerOp }),
+			BytesPerOp:  int64(med(func(b Benchmark) float64 { return float64(b.BytesPerOp) })),
+			AllocsPerOp: int64(med(func(b Benchmark) float64 { return float64(b.AllocsPerOp) })),
+			NsPerImage:  med(func(b Benchmark) float64 { return b.NsPerImage }),
+		})
+	}
+	return out
+}
+
+// matchFilter reports whether name contains any of the comma-separated
+// substrings in filter; an empty filter (or one of only empty fields)
+// keeps everything.
+func matchFilter(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	any := false
+	for _, f := range strings.Split(filter, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		any = true
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return !any
 }
 
 // checkAndAppendHistory compares the fresh report against the median

@@ -12,9 +12,11 @@
 // resident cache (negative disables it).
 //
 // Parallelism: -workers sizes the shared evaluation worker pool (0 =
-// GOMAXPROCS, 1 = serial; results are bit-identical either way) and
+// GOMAXPROCS, 1 = serial; results are bit-identical either way),
 // -hoist compiles KS layers to serve each rotation ladder from one shared
-// keyswitch decomposition.
+// keyswitch decomposition, and -bsgs compiles linear layers as
+// baby-step/giant-step diagonal transforms (ladder fallback where BSGS
+// would lose).
 //
 // The reproduction keeps key generation in-process (the demo client and
 // server share a key ceremony at startup), so -demo N serves N local
@@ -95,6 +97,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for the encoded-weight plaintext cache (0 = default, negative disables caching)")
 	workers := flag.Int("workers", 0, "evaluation worker pool size shared by all requests (0 = GOMAXPROCS, 1 = serial)")
 	hoist := flag.Bool("hoist", false, "compile KS layers with hoisted rotations (shared keyswitch decompositions)")
+	bsgs := flag.Bool("bsgs", false, "compile linear layers as BSGS diagonal transforms (baby-step/giant-step rotations; falls back to the ladder where it loses)")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "rolling per-read/write deadline")
 	requestBudget := flag.Duration("request-budget", 2*time.Minute, "total wall-clock budget per request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -131,7 +134,7 @@ func main() {
 		os.Exit(2)
 	}
 	pnet.InitWeights(*seed)
-	henet := hecnn.CompileWith(pnet, params.Slots(), hecnn.Options{Hoist: *hoist})
+	henet := hecnn.CompileWith(pnet, params.Slots(), hecnn.Options{Hoist: *hoist, BSGS: *bsgs})
 
 	// Key ceremony: the secret key stays with the client role; the server
 	// receives only evaluation keys.

@@ -282,34 +282,67 @@ func (ev *Evaluator) keySwitchCore(c *ring.Poly, swk *SwitchingKey) (u0, u1 *rin
 	// digits run in ascending order inside each item, so the MulAddVec
 	// accumulation order — and therefore the result — is bit-exact with the
 	// serial digit-outer formulation.
+	// The switching-key rows are stored in Montgomery form, so the MACs
+	// below run REDC with lazy accumulators: each digit deposits a value in
+	// [0, 2q) without reducing, and lazyMACGuard inserts a full reduction
+	// whenever the running term count would overflow a uint64 (the
+	// lazy-reduction bounds contract, DESIGN.md §16). The closing ReduceVec
+	// restores canonical residues, so results stay bit-identical to the
+	// eager Barrett formulation.
 	pool := r.Pool()
 	pool.Do(k+1, func(j int) {
 		digit := make([]uint64, n)
 		if j == k { // special-prime row
+			maxLazy := spMod.MaxLazyAdds()
+			terms := 0
 			for i := 0; i < k; i++ {
 				spMod.ReduceVec(digit, cc.Coeffs[i])
 				spTab.Forward(digit)
-				spMod.MulAddVec(u0p, digit, swk.B[i].Coeffs[sp])
-				spMod.MulAddVec(u1p, digit, swk.A[i].Coeffs[sp])
+				terms = lazyMACGuard(spMod, u0p, u1p, terms, maxLazy)
+				spMod.MulMontAddLazyVec(u0p, digit, swk.B[i].Coeffs[sp])
+				spMod.MulMontAddLazyVec(u1p, digit, swk.A[i].Coeffs[sp])
 			}
+			spMod.ReduceVec(u0p, u0p)
+			spMod.ReduceVec(u1p, u1p)
 			return
 		}
+		mj := r.Mods[j]
+		maxLazy := mj.MaxLazyAdds()
+		terms := 0
 		for i := 0; i < k; i++ {
 			d := cc.Coeffs[i] // digit i in coefficient domain, values < q_i
 			if j == i {
 				copy(digit, d)
 			} else {
-				r.Mods[j].ReduceVec(digit, d)
+				mj.ReduceVec(digit, d)
 			}
 			r.Tables[j].Forward(digit)
-			r.Mods[j].MulAddVec(u0.Coeffs[j], digit, swk.B[i].Coeffs[j])
-			r.Mods[j].MulAddVec(u1.Coeffs[j], digit, swk.A[i].Coeffs[j])
+			terms = lazyMACGuard(mj, u0.Coeffs[j], u1.Coeffs[j], terms, maxLazy)
+			mj.MulMontAddLazyVec(u0.Coeffs[j], digit, swk.B[i].Coeffs[j])
+			mj.MulMontAddLazyVec(u1.Coeffs[j], digit, swk.A[i].Coeffs[j])
 		}
+		mj.ReduceVec(u0.Coeffs[j], u0.Coeffs[j])
+		mj.ReduceVec(u1.Coeffs[j], u1.Coeffs[j])
 	})
 
 	ev.modDown(u0, u0p)
 	ev.modDown(u1, u1p)
 	return u0, u1
+}
+
+// lazyMACGuard accounts for one more lazy MAC into the two accumulators:
+// a reduced accumulator counts as one lazy term and every MulMontAddLazyVec
+// adds another, so when the next term would exceed maxLazy the accumulators
+// are reduced down to a single term. With 30–50-bit production primes
+// maxLazy is in the billions and the reduction never fires; it exists for
+// the q-near-2^62 corner the modarith property tests pin.
+func lazyMACGuard(m modarith.Modulus, acc0, acc1 []uint64, terms, maxLazy int) int {
+	if terms+1 > maxLazy {
+		m.ReduceVec(acc0, acc0)
+		m.ReduceVec(acc1, acc1)
+		terms = 1
+	}
+	return terms + 1
 }
 
 // modDown divides the extended-basis accumulator (q-rows in u, special row

@@ -106,21 +106,36 @@ func (ev *Evaluator) rotateWithDecomposition(ct *Ciphertext, hd *HoistedDecompos
 	// Target-row-outer, same shape as keySwitchCore: the level+1 extended
 	// rows are independent, and digits accumulate in ascending order within
 	// each row so the parallel result is bit-exact with the serial one.
+	// Same lazy Montgomery MAC discipline as keySwitchCore: key rows are in
+	// Montgomery form, accumulators collect unreduced [0, 2q) terms with a
+	// guard against uint64 overflow, and one ReduceVec per row restores
+	// canonical residues.
 	r.Pool().Do(level+1, func(j int) {
 		tmp := make([]uint64, n)
 		if j == level { // special-prime row
+			maxLazy := spMod.MaxLazyAdds()
+			terms := 0
 			for i := 0; i < level; i++ {
 				ring.PermuteVec(tmp, hd.digitsP[i], perm)
-				spMod.MulAddVec(u0p, tmp, swk.B[i].Coeffs[sp])
-				spMod.MulAddVec(u1p, tmp, swk.A[i].Coeffs[sp])
+				terms = lazyMACGuard(spMod, u0p, u1p, terms, maxLazy)
+				spMod.MulMontAddLazyVec(u0p, tmp, swk.B[i].Coeffs[sp])
+				spMod.MulMontAddLazyVec(u1p, tmp, swk.A[i].Coeffs[sp])
 			}
+			spMod.ReduceVec(u0p, u0p)
+			spMod.ReduceVec(u1p, u1p)
 			return
 		}
+		mj := r.Mods[j]
+		maxLazy := mj.MaxLazyAdds()
+		terms := 0
 		for i := 0; i < level; i++ {
 			ring.PermuteVec(tmp, hd.digitsQ[i][j], perm)
-			r.Mods[j].MulAddVec(u0.Coeffs[j], tmp, swk.B[i].Coeffs[j])
-			r.Mods[j].MulAddVec(u1.Coeffs[j], tmp, swk.A[i].Coeffs[j])
+			terms = lazyMACGuard(mj, u0.Coeffs[j], u1.Coeffs[j], terms, maxLazy)
+			mj.MulMontAddLazyVec(u0.Coeffs[j], tmp, swk.B[i].Coeffs[j])
+			mj.MulMontAddLazyVec(u1.Coeffs[j], tmp, swk.A[i].Coeffs[j])
 		}
+		mj.ReduceVec(u0.Coeffs[j], u0.Coeffs[j])
+		mj.ReduceVec(u1.Coeffs[j], u1.Coeffs[j])
 	})
 	ev.modDown(u0, u0p)
 	ev.modDown(u1, u1p)

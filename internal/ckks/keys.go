@@ -99,6 +99,13 @@ func (kg *KeyGenerator) genSwitchingKey(src *ring.Poly, sk *SecretKey) *Switchin
 		row := make([]uint64, r.N)
 		r.Mods[i].ScalarMulVec(row, src.Coeffs[i], pModQi)
 		r.Mods[i].AddVec(b.Coeffs[i], b.Coeffs[i], row)
+		// Store the digit rows in Montgomery form: the keyswitch MACs
+		// then use REDC (MulMontAddLazyVec), and because REDC cancels the
+		// 2^64 factor exactly, ciphertext results — and their digest pins
+		// — are bit-identical to the Barrett formulation. The residues
+		// stay canonical (< q), so serialization is unaffected.
+		r.MForm(b, b)
+		r.MForm(a, a)
 		swk.B[i] = b
 		swk.A[i] = a
 	}

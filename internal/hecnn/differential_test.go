@@ -95,6 +95,46 @@ func TestDifferentialEvaluationPaths(t *testing.T) {
 					t.Errorf("hoisted path not deterministic: %s vs %s", a, b)
 				}
 
+				// Path 5 — BSGS diagonal linear transforms: a different
+				// rotation structure entirely (baby/giant steps instead of
+				// rotate-and-sum ladders), so like the hoisted path it gets
+				// the tolerance check plus a run-to-run determinism digest,
+				// and additionally a cached-vs-uncached digest pin (the
+				// diagonal plaintexts ride the same CompiledNetwork cache).
+				diag := CompileWith(pnet, params.Slots(), Options{BSGS: true})
+				for _, l := range diag.Layers {
+					if _, ok := l.(*MatVecGroup); ok {
+						t.Errorf("BSGS compile kept ladder layer %q", l.Name())
+					}
+				}
+				drots := diag.RotationsNeeded(params.MaxLevel())
+				ctx5 := NewContext(params, ctxSeed, drots)
+				out5 := diag.EvaluateEncrypted(NewCryptoBackend(ctx5, nil), encryptInput(diag, ctx5, img))
+				checkLogits("bsgs", ctx5.DecryptVector(out5)[:outElems(diag)])
+				bsgsDigest := out5.Ciphertext().Digest()
+				ctx5b := NewContext(params, ctxSeed, drots)
+				out5b := diag.EvaluateEncrypted(NewCryptoBackend(ctx5b, nil), encryptInput(diag, ctx5b, img))
+				if d := out5b.Ciphertext().Digest(); d != bsgsDigest {
+					t.Errorf("bsgs path not deterministic: %s vs %s", d, bsgsDigest)
+				}
+				ctx5c := NewContext(params, ctxSeed, drots)
+				cnd := NewCompiledNetwork(diag, params, ctx5c.Encoder, 0)
+				cnd.Warm(params.MaxLevel())
+				out5c := diag.EvaluateEncrypted(cnd.Backend(ctx5c, nil), encryptInput(diag, ctx5c, img))
+				if d := out5c.Ciphertext().Digest(); d != bsgsDigest {
+					t.Errorf("bsgs cached digest %s != uncached %s", d, bsgsDigest)
+				}
+				if calls := cnd.EncodeCalls(); calls == 0 {
+					t.Error("bsgs warm performed no encodes")
+				} else {
+					before := cnd.EncodeCalls()
+					ctx5d := NewContext(params, ctxSeed, drots)
+					diag.EvaluateEncrypted(cnd.Backend(ctx5d, nil), encryptInput(diag, ctx5d, img))
+					if after := cnd.EncodeCalls(); after != before {
+						t.Errorf("bsgs steady state encoded %d new operands", after-before)
+					}
+				}
+
 				// Path 4 — CryptoNets-batched (the throughput path), with a
 				// second image in the batch so slot demux is exercised too.
 				bnet, err := CompileBatched(pnet, params.Slots())

@@ -26,6 +26,18 @@ type Options struct {
 	// key generation, and evaluation. Off by default: the default pipeline
 	// and its golden per-layer profiles are unchanged.
 	Hoist bool
+	// BSGS compiles every interior and final linear layer (dense, interior
+	// conv, pool) as a MatVecDiag baby-step/giant-step diagonal transform
+	// instead of the rotate-and-sum ladder, cutting keyswitch counts from
+	// O(rows·log cols) to O(√diagonals). A layer falls back to the ladder
+	// when its diagonal plan costs more than the ladder or when its
+	// geometry (rows+cols−1 > slots) aliases the cyclic diagonals; once an
+	// interior layer falls back, the GroupSums layout forces the remaining
+	// layers onto the ladder too. Like Hoist, BSGS changes rotation counts
+	// and the Galois key set, so counting, key generation, and evaluation
+	// must share the flag. BSGS composes with Hoist (Hoist then applies to
+	// whatever ladder layers remain).
+	BSGS bool
 }
 
 // Compile translates a plaintext CNN into its packed homomorphic form:
@@ -52,6 +64,23 @@ func CompileWith(c *cnn.Network, slots int, opts Options) *Network {
 		mv.Hoist = opts.Hoist
 		return mv
 	}
+	// bsgs tracks whether the diagonal path is still available: it starts
+	// at opts.BSGS and degrades to false the first time an interior layer
+	// falls back to the ladder, because the ladder's GroupSums output
+	// layout is incompatible with MatVecDiag's Contiguous input.
+	bsgs := opts.BSGS
+	// matvec lowers one interior linear layer, choosing MatVecDiag when
+	// the BSGS path is live and its compiled plan beats the ladder cost.
+	matvec := func(name string, rows, cols int, weight func(r, c int) float64, bias func(r int) float64) Layer {
+		if bsgs && rows+cols-1 <= slots {
+			d := NewMatVecDiag(name, rows, cols, slots, weight, bias)
+			if d.EstimatedCost() < ladderGroupCost(rows, cols, slots) {
+				return d
+			}
+		}
+		bsgs = false
+		return group(NewMatVecGroup(name, rows, cols, slots, weight, bias))
+	}
 
 	// Track tensor shape through the network for conv flattening.
 	ch, hh, ww := c.InC, c.InH, c.InW
@@ -65,11 +94,11 @@ func CompileWith(c *cnn.Network, slots int, opts Options) *Network {
 				cols := ch * hh * ww
 				_, oh, ow := layer.OutShape(ch, hh, ww)
 				winPerMap := oh * ow
-				n.Layers = append(n.Layers, group(NewMatVecGroup(
-					layer.Name(), rows, cols, slots,
+				n.Layers = append(n.Layers, matvec(
+					layer.Name(), rows, cols,
 					convMatrix(layer, ch, hh, ww),
 					func(r int) float64 { return layer.Bias[r/winPerMap] },
-				)))
+				))
 			}
 			ch, hh, ww = layer.OutShape(ch, hh, ww)
 		case *cnn.Square:
@@ -79,28 +108,41 @@ func CompileWith(c *cnn.Network, slots int, opts Options) *Network {
 			// generic matvec over the flattened tensor.
 			rows := prod3(layer.OutShape(ch, hh, ww))
 			cols := ch * hh * ww
-			n.Layers = append(n.Layers, group(NewMatVecGroup(
-				layer.Name(), rows, cols, slots,
+			n.Layers = append(n.Layers, matvec(
+				layer.Name(), rows, cols,
 				poolMatrix(layer, ch, hh, ww),
 				func(int) float64 { return 0 },
-			)))
+			))
 			ch, hh, ww = layer.OutShape(ch, hh, ww)
 		case *cnn.Dense:
 			if i == len(c.Layers)-1 {
-				n.Layers = append(n.Layers, &MatVecCollect{
-					LayerName: layer.Name(),
-					Rows:      layer.Out, Cols: layer.In,
-					Weight: layer.Weight,
-					Bias:   func(r int) float64 { return layer.Bias[r] },
-					Slots:  slots,
-					Hoist:  opts.Hoist,
-				})
+				if bsgs {
+					// The final layer's input is Contiguous (every
+					// earlier linear layer compiled to MatVecDiag), so
+					// the diagonal form is the only fit: MatVecCollect
+					// needs GroupSums. Geometry always holds here —
+					// logits must fit the slot count.
+					n.Layers = append(n.Layers, NewMatVecDiag(
+						layer.Name(), layer.Out, layer.In, slots,
+						layer.Weight,
+						func(r int) float64 { return layer.Bias[r] },
+					))
+				} else {
+					n.Layers = append(n.Layers, &MatVecCollect{
+						LayerName: layer.Name(),
+						Rows:      layer.Out, Cols: layer.In,
+						Weight: layer.Weight,
+						Bias:   func(r int) float64 { return layer.Bias[r] },
+						Slots:  slots,
+						Hoist:  opts.Hoist,
+					})
+				}
 			} else {
-				n.Layers = append(n.Layers, group(NewMatVecGroup(
-					layer.Name(), layer.Out, layer.In, slots,
+				n.Layers = append(n.Layers, matvec(
+					layer.Name(), layer.Out, layer.In,
 					layer.Weight,
 					func(r int) float64 { return layer.Bias[r] },
-				)))
+				))
 			}
 			ch, hh, ww = layer.Out, 1, 1
 		default:

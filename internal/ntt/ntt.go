@@ -70,30 +70,104 @@ func reverseBits(v uint32, n int) uint32 {
 	return bits.Reverse32(v) >> (32 - uint(n))
 }
 
+// The butterflies below are David Harvey's lazy variants: intermediate
+// values are NOT reduced to [0, q) between stages. The forward transform
+// keeps the invariant "stage inputs < 4q" (one conditional subtraction of 2q
+// per butterfly restores it), the inverse keeps "stage inputs < 2q", and a
+// single full-reduction pass at the end restores the canonical range — so
+// the transforms stay bit-identical to eager Barrett versions while dropping
+// two reductions per butterfly. Correctness of the Shoup product for ANY
+// 64-bit operand (given w < q) is what lets operands in [0, 4q) flow
+// straight into the next stage; q < 2^62 (the NewModulus contract) keeps
+// u + 2q - vw below 2^64.
+
+// ctButterfly is the lazy Cooley-Tukey butterfly (u, v) -> (u + w·v, u - w·v)
+// with inputs < 4q and outputs < 4q.
+func ctButterfly(u, v, w, wShoup, q, twoQ uint64) (uint64, uint64) {
+	if u >= twoQ {
+		u -= twoQ
+	}
+	qhat, _ := bits.Mul64(v, wShoup)
+	vw := v*w - qhat*q // Shoup lazy product, in [0, 2q)
+	return u + vw, u + twoQ - vw
+}
+
+// gsButterfly is the lazy Gentleman-Sande butterfly (u, v) -> (u + v, w·(u - v))
+// with inputs < 2q and outputs < 2q.
+func gsButterfly(u, v, w, wShoup, q, twoQ uint64) (uint64, uint64) {
+	s := u + v
+	if s >= twoQ {
+		s -= twoQ
+	}
+	d := u + twoQ - v // in [0, 4q), a valid Shoup operand
+	qhat, _ := bits.Mul64(d, wShoup)
+	return s, d*w - qhat*q
+}
+
 // Forward transforms a (length N, coefficients < q) in place from coefficient
 // representation to the negacyclic evaluation (NTT) domain.
 func (t *Table) Forward(a []uint64) {
 	if len(a) != t.N {
 		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
 	}
-	mod := t.Mod
+	q := t.Mod.Q
+	twoQ := 2 * q
 	n := t.N
 	tt := n
 	for m := 1; m < n; m <<= 1 {
 		tt >>= 1
 		for i := 0; i < m; i++ {
 			j1 := 2 * i * tt
-			j2 := j1 + tt
 			w := t.psiRev[m+i]
-			for j := j1; j < j2; j++ {
-				// Cooley-Tukey butterfly: (a, b) -> (a + w·b, a - w·b)
-				u := a[j]
-				v := w.Mul(a[j+tt], mod)
-				a[j] = mod.Add(u, v)
-				a[j+tt] = mod.Sub(u, v)
+			wv, ws := w.W, w.WShoup
+			x := a[j1 : j1+tt : j1+tt]
+			y := a[j1+tt : j1+2*tt : j1+2*tt]
+			if tt >= 8 {
+				for j := 0; j < tt; j += 8 {
+					xa := (*[8]uint64)(x[j:])
+					ya := (*[8]uint64)(y[j:])
+					xa[0], ya[0] = ctButterfly(xa[0], ya[0], wv, ws, q, twoQ)
+					xa[1], ya[1] = ctButterfly(xa[1], ya[1], wv, ws, q, twoQ)
+					xa[2], ya[2] = ctButterfly(xa[2], ya[2], wv, ws, q, twoQ)
+					xa[3], ya[3] = ctButterfly(xa[3], ya[3], wv, ws, q, twoQ)
+					xa[4], ya[4] = ctButterfly(xa[4], ya[4], wv, ws, q, twoQ)
+					xa[5], ya[5] = ctButterfly(xa[5], ya[5], wv, ws, q, twoQ)
+					xa[6], ya[6] = ctButterfly(xa[6], ya[6], wv, ws, q, twoQ)
+					xa[7], ya[7] = ctButterfly(xa[7], ya[7], wv, ws, q, twoQ)
+				}
+			} else {
+				for j := range x {
+					x[j], y[j] = ctButterfly(x[j], y[j], wv, ws, q, twoQ)
+				}
 			}
 		}
 	}
+	// Collapse the lazy range [0, 4q) to the canonical [0, q).
+	nn := n &^ 7
+	for j := 0; j < nn; j += 8 {
+		z := (*[8]uint64)(a[j:])
+		z[0] = reduce4Q(z[0], q, twoQ)
+		z[1] = reduce4Q(z[1], q, twoQ)
+		z[2] = reduce4Q(z[2], q, twoQ)
+		z[3] = reduce4Q(z[3], q, twoQ)
+		z[4] = reduce4Q(z[4], q, twoQ)
+		z[5] = reduce4Q(z[5], q, twoQ)
+		z[6] = reduce4Q(z[6], q, twoQ)
+		z[7] = reduce4Q(z[7], q, twoQ)
+	}
+	for j := nn; j < n; j++ {
+		a[j] = reduce4Q(a[j], q, twoQ)
+	}
+}
+
+func reduce4Q(r, q, twoQ uint64) uint64 {
+	if r >= twoQ {
+		r -= twoQ
+	}
+	if r >= q {
+		r -= q
+	}
+	return r
 }
 
 // Inverse transforms a in place from the NTT domain back to coefficient
@@ -103,25 +177,42 @@ func (t *Table) Inverse(a []uint64) {
 		panic(fmt.Sprintf("ntt: length %d != N=%d", len(a), t.N))
 	}
 	mod := t.Mod
+	q := mod.Q
+	twoQ := 2 * q
 	n := t.N
 	tt := 1
 	for m := n; m > 1; m >>= 1 {
 		j1 := 0
 		h := m >> 1
 		for i := 0; i < h; i++ {
-			j2 := j1 + tt
 			w := t.psiInvRev[h+i]
-			for j := j1; j < j2; j++ {
-				// Gentleman-Sande butterfly: (a, b) -> (a + b, w·(a - b))
-				u := a[j]
-				v := a[j+tt]
-				a[j] = mod.Add(u, v)
-				a[j+tt] = w.Mul(mod.Sub(u, v), mod)
+			wv, ws := w.W, w.WShoup
+			x := a[j1 : j1+tt : j1+tt]
+			y := a[j1+tt : j1+2*tt : j1+2*tt]
+			if tt >= 8 {
+				for j := 0; j < tt; j += 8 {
+					xa := (*[8]uint64)(x[j:])
+					ya := (*[8]uint64)(y[j:])
+					xa[0], ya[0] = gsButterfly(xa[0], ya[0], wv, ws, q, twoQ)
+					xa[1], ya[1] = gsButterfly(xa[1], ya[1], wv, ws, q, twoQ)
+					xa[2], ya[2] = gsButterfly(xa[2], ya[2], wv, ws, q, twoQ)
+					xa[3], ya[3] = gsButterfly(xa[3], ya[3], wv, ws, q, twoQ)
+					xa[4], ya[4] = gsButterfly(xa[4], ya[4], wv, ws, q, twoQ)
+					xa[5], ya[5] = gsButterfly(xa[5], ya[5], wv, ws, q, twoQ)
+					xa[6], ya[6] = gsButterfly(xa[6], ya[6], wv, ws, q, twoQ)
+					xa[7], ya[7] = gsButterfly(xa[7], ya[7], wv, ws, q, twoQ)
+				}
+			} else {
+				for j := range x {
+					x[j], y[j] = gsButterfly(x[j], y[j], wv, ws, q, twoQ)
+				}
 			}
 			j1 += 2 * tt
 		}
 		tt <<= 1
 	}
+	// The closing Shoup multiply by 1/N accepts the lazy [0, 2q) range and
+	// returns canonical residues, so no separate reduction pass is needed.
 	for j := 0; j < n; j++ {
 		a[j] = t.nInv.Mul(a[j], mod)
 	}

@@ -277,18 +277,46 @@ func (r *Ring) DivRoundByLastModulus(p *Poly) {
 		inv := r.rescaleInv[k][j]
 		qlRed := r.lastModRed[k][j]
 		row := p.Coeffs[j]
-		for n := 0; n < r.N; n++ {
-			// Centered lift of the last residue into Z_{q_j}.
-			rep := mj.Reduce(last[n])
-			if last[n] > half {
-				rep = mj.Sub(rep, qlRed)
-				// The centered representative is last[n] - q_last; its
-				// residue mod q_j is rep - q_last mod q_j.
-			}
-			row[n] = inv.Mul(mj.Sub(row[n], rep), mj)
+		// The row loop is the Rescale hot path; unrolled over array
+		// pointers like the modarith kernels so the per-coefficient work
+		// (one Barrett reduce, one Shoup multiply) runs without bounds
+		// checks.
+		nn := r.N &^ 3
+		for n := 0; n < nn; n += 4 {
+			l := (*[4]uint64)(last[n:])
+			z := (*[4]uint64)(row[n:])
+			z[0] = rescaleCoeff(mj, inv, z[0], l[0], half, qlRed)
+			z[1] = rescaleCoeff(mj, inv, z[1], l[1], half, qlRed)
+			z[2] = rescaleCoeff(mj, inv, z[2], l[2], half, qlRed)
+			z[3] = rescaleCoeff(mj, inv, z[3], l[3], half, qlRed)
+		}
+		for n := nn; n < r.N; n++ {
+			row[n] = rescaleCoeff(mj, inv, row[n], last[n], half, qlRed)
 		}
 	})
 	p.DropLast(1)
+}
+
+// rescaleCoeff lifts the last-modulus residue lastC into Z_{q_j} with
+// centered rounding and folds it out of c: (c - centered(lastC)) / q_last.
+func rescaleCoeff(mj modarith.Modulus, inv modarith.MulConst, c, lastC, half, qlRed uint64) uint64 {
+	rep := mj.Reduce(lastC)
+	if lastC > half {
+		// The centered representative is lastC - q_last; its residue
+		// mod q_j is rep - q_last mod q_j.
+		rep = mj.Sub(rep, qlRed)
+	}
+	return inv.Mul(mj.Sub(c, rep), mj)
+}
+
+// MForm converts every residue of a into Montgomery form, writing into out
+// (out == a is allowed). Used to pre-convert switching keys so the keyswitch
+// MACs can run REDC instead of Barrett.
+func (r *Ring) MForm(out, a *Poly) {
+	k := r.checkSameK(out, a)
+	r.do(k, minParallelCoeffs, func(i int) {
+		r.Mods[i].MFormVec(out.Coeffs[i], a.Coeffs[i])
+	})
 }
 
 // Automorphism applies the Galois map X -> X^g to the coefficient-domain
