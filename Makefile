@@ -1,10 +1,10 @@
 GO ?= go
 
 # COVERAGE_FLOOR is the committed minimum total statement coverage over
-# ./internal/... (the tree sat at ~90.1% when the floor was last raised,
-# after the BSGS/Montgomery suites landed); `make cover` and the CI
-# coverage job fail below it.
-COVERAGE_FLOOR ?= 89.0
+# ./internal/... (the tree sat at ~90.2% when the floor was last raised,
+# after the gateway/registry cluster suites landed); `make cover` and the
+# CI coverage job fail below it.
+COVERAGE_FLOOR ?= 89.5
 
 .PHONY: build test verify race bench cover clean artifact
 
@@ -20,7 +20,7 @@ test:
 # wire format.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/mlaas/... ./internal/faultnet/... ./internal/telemetry/... ./internal/hecnn/... ./internal/parallel/... ./internal/ckks/... ./internal/cache/...
+	$(GO) test -race ./internal/mlaas/... ./internal/gateway/... ./internal/registry/... ./internal/faultnet/... ./internal/telemetry/... ./internal/hecnn/... ./internal/parallel/... ./internal/ckks/... ./internal/cache/...
 
 # race runs the whole tree under the race detector (slower than verify).
 race:

@@ -9,7 +9,8 @@
 // Serve-path caching: the server pre-encodes every weight/bias plaintext
 // at the exact levels and scales the compiled plan consumes, so
 // steady-state requests perform zero encodings; -cache-bytes bounds the
-// resident cache (negative disables it).
+// resident cache (0 auto-sizes it from the compiled operand set so even
+// the BSGS diagonal set fits, negative disables it).
 //
 // Parallelism: -workers sizes the shared evaluation worker pool (0 =
 // GOMAXPROCS, 1 = serial; results are bit-identical either way),
@@ -85,8 +86,18 @@ import (
 	"fxhenn/internal/cnn"
 	"fxhenn/internal/hecnn"
 	"fxhenn/internal/mlaas"
+	"fxhenn/internal/registry"
 	"fxhenn/internal/telemetry"
 )
+
+// modelsFor returns the standard catalog when multi-tenant serving is
+// enabled; Config.Models must stay nil otherwise.
+func modelsFor(reg *registry.Registry) mlaas.ModelBuilder {
+	if reg == nil {
+		return nil
+	}
+	return mlaas.StandardCatalog()
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
@@ -94,7 +105,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "weight/key seed")
 	maxConcurrent := flag.Int("max-concurrent", 4, "evaluation slots before requests are refused busy")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue: requests beyond the evaluation slots wait here, up to their budget, before busy (0 = fail fast)")
-	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for the encoded-weight plaintext cache (0 = default, negative disables caching)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for the encoded-weight plaintext cache (0 = auto-size from the compiled operand set, negative disables caching)")
 	workers := flag.Int("workers", 0, "evaluation worker pool size shared by all requests (0 = GOMAXPROCS, 1 = serial)")
 	hoist := flag.Bool("hoist", false, "compile KS layers with hoisted rotations (shared keyswitch decompositions)")
 	bsgs := flag.Bool("bsgs", false, "compile linear layers as BSGS diagonal transforms (baby-step/giant-step rotations; falls back to the ladder where it loses)")
@@ -113,6 +124,7 @@ func main() {
 	traceLog := flag.String("trace-log", "", "append every kept trace as one JSON line to this file (empty disables; requires -trace-ring)")
 	healthAddr := flag.String("health-addr", "", "serve /healthz and /readyz on this address (empty disables; health is also mounted on -metrics-addr)")
 	endpoints := flag.String("endpoints", "", "comma-separated extra replica addresses; the demo client hedges and fails over across this server plus these (empty = single-endpoint retry demo)")
+	registryPath := flag.String("registry", "", "tenant registry JSON file: enable multi-tenant serving with per-tenant models, keys, quotas and batch domains from this on-disk registry (empty = single-tenant)")
 	flag.Parse()
 
 	var (
@@ -198,6 +210,19 @@ func main() {
 		}
 		flight = telemetry.NewFlightRecorder(fcfg)
 	}
+	// Multi-tenant serving: tenants resolve lazily from the on-disk
+	// registry through the standard model catalog; untenanted requests
+	// still hit the single-tenant network configured above.
+	var tenantReg *registry.Registry
+	if *registryPath != "" {
+		store, err := registry.OpenFileStore(*registryPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "registry: %v\n", err)
+			os.Exit(1)
+		}
+		tenantReg = registry.New(store)
+	}
+
 	server := mlaas.NewServerWithConfig(params, henet, rlk, rtk, mlaas.Config{
 		MaxConcurrent:        *maxConcurrent,
 		QueueDepth:           *queueDepth,
@@ -210,6 +235,8 @@ func main() {
 		ShedEWMA:             *shedEWMA,
 		Batch:                batchCfg,
 		Flight:               flight,
+		Registry:             tenantReg,
+		Models:               modelsFor(tenantReg),
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -222,6 +249,15 @@ func main() {
 	if batchCfg != nil {
 		fmt.Printf("mlaas-server: batched serving on logN=%d ring (batch-size=%d batch-window=%v)\n",
 			bparams.LogN, *batchSize, *batchWindow)
+	}
+	if tenantReg != nil {
+		recs, err := tenantReg.List()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "registry list: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mlaas-server: multi-tenant serving from registry %s (%d tenants)\n",
+			*registryPath, len(recs))
 	}
 
 	if reg != nil {

@@ -1,0 +1,78 @@
+package gateway
+
+// Per-shard dial breaker: consecutive failures open it, a cooldown
+// half-opens it for one probe, and a success closes it again. It guards
+// only the dial — once bytes are splicing, the exchange's fate belongs
+// to the client's own retry/failover policy — so the state machine stays
+// deliberately small.
+
+import (
+	"sync"
+	"time"
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool // half-open: one probe in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a dial may proceed. An open breaker admits one
+// probe per cooldown window.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure counts one dial failure; at the threshold (or on a failed
+// half-open probe) the breaker opens and the cooldown restarts.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold {
+		b.open = true
+		b.probing = false
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case b.probing || b.now().Sub(b.openedAt) >= b.cooldown:
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -1,0 +1,60 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full state machine on a fake clock:
+// closed → open at the threshold → half-open after the cooldown → one
+// probe only → closed on probe success, re-open on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second, func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("refused below threshold at failure %d", i)
+		}
+		b.failure()
+	}
+	if b.state() != "closed" {
+		t.Fatalf("state %s before threshold", b.state())
+	}
+	b.failure()
+	if b.state() != "open" {
+		t.Fatalf("state %s at threshold", b.state())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a dial inside the cooldown")
+	}
+
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused its probe")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: re-open, cooldown restarts.
+	b.failure()
+	if b.state() != "open" || b.allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+
+	// Next probe succeeds: closed again, failures forgotten.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.success()
+	if b.state() != "closed" {
+		t.Fatalf("state %s after probe success", b.state())
+	}
+	b.failure()
+	b.failure()
+	if b.state() != "closed" {
+		t.Fatal("old failures survived the close")
+	}
+}

@@ -1,0 +1,146 @@
+package gateway
+
+// Consistent-hash ring for tenant → shard placement. Each shard owns
+// ringVnodes virtual nodes (FNV-1a of "name#i") on a sorted uint64
+// circle; a tenant routes to the first vnode clockwise of its own hash.
+// Adding or removing one shard therefore moves only the tenants whose
+// arcs that shard owned — every other tenant's keys and compiled network
+// stay warm on their home shard, which is the whole point: a naive
+// mod-N table would re-home almost every tenant on any fleet change and
+// cold-start the expensive per-tenant state (key material, encoded
+// plaintext cache) fleet-wide.
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ringVnodes is the number of virtual nodes per shard: enough to keep
+// the largest/smallest arc ratio small across a handful of shards
+// without making membership changes expensive.
+const ringVnodes = 64
+
+type vnode struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring over shard names. Safe for concurrent
+// use.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  []vnode // sorted by hash
+	members map[string]bool
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring {
+	return &Ring{members: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum64()
+}
+
+func vnodeKey(shard string, i int) string {
+	return shard + "#" + strconv.Itoa(i)
+}
+
+// Add inserts a shard's virtual nodes. Adding a present member is a
+// no-op.
+func (r *Ring) Add(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[shard] {
+		return
+	}
+	r.members[shard] = true
+	for i := 0; i < ringVnodes; i++ {
+		r.vnodes = append(r.vnodes, vnode{ringHash(vnodeKey(shard, i)), shard})
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+}
+
+// Remove deletes a shard's virtual nodes; tenants it owned re-route to
+// their next clockwise shard. Removing an absent member is a no-op.
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[shard] {
+		return
+	}
+	delete(r.members, shard)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.shard != shard {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+}
+
+// Pick returns the home shard for key, or false on an empty ring.
+func (r *Ring) Pick(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 {
+		return "", false
+	}
+	return r.walk(key, 1)[0], true
+}
+
+// PickN returns up to n distinct shards for key in ring order: the home
+// shard first, then the fallbacks a router should try when earlier
+// choices are unreachable. Every caller walking the same key sees the
+// same order, so re-routes are deterministic fleet-wide.
+func (r *Ring) PickN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	return r.walk(key, n)
+}
+
+// walk collects n distinct shards clockwise from key's hash. Callers
+// hold r.mu.
+func (r *Ring) walk(key string, n int) []string {
+	h := ringHash(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.shard] {
+			seen[v.shard] = true
+			out = append(out, v.shard)
+		}
+	}
+	return out
+}
+
+// Members returns the current shard set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingStability pins the property the whole design leans on:
+// removing one shard re-homes ONLY the tenants that lived on it — every
+// other tenant keeps its warm home shard.
+func TestRingStability(t *testing.T) {
+	r := NewRing()
+	shards := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	for _, s := range shards {
+		r.Add(s)
+	}
+	const tenants = 500
+	before := make(map[string]string, tenants)
+	for i := 0; i < tenants; i++ {
+		k := fmt.Sprintf("tenant-%d", i)
+		home, ok := r.Pick(k)
+		if !ok {
+			t.Fatal("pick on a populated ring failed")
+		}
+		before[k] = home
+	}
+
+	r.Remove("shard-2")
+	moved := 0
+	for k, prev := range before {
+		now, _ := r.Pick(k)
+		if prev == "shard-2" {
+			if now == "shard-2" {
+				t.Fatalf("tenant %s still routes to the removed shard", k)
+			}
+			moved++
+			continue
+		}
+		if now != prev {
+			t.Fatalf("tenant %s moved %s → %s though its shard never left", k, prev, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no tenant lived on the removed shard; test tenants too few")
+	}
+
+	// Re-adding restores exactly the original placement.
+	r.Add("shard-2")
+	for k, prev := range before {
+		if now, _ := r.Pick(k); now != prev {
+			t.Fatalf("tenant %s at %s after re-add, had %s", k, now, prev)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep the per-shard tenant load within a
+// loose factor of even.
+func TestRingBalance(t *testing.T) {
+	r := NewRing()
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	counts := make(map[string]int)
+	const tenants = 4000
+	for i := 0; i < tenants; i++ {
+		home, _ := r.Pick(fmt.Sprintf("tenant-%d", i))
+		counts[home]++
+	}
+	want := tenants / 4
+	for shard, n := range counts {
+		if n < want/3 || n > want*3 {
+			t.Fatalf("shard %s holds %d of %d tenants — ring badly unbalanced: %v", shard, n, tenants, counts)
+		}
+	}
+}
+
+// TestRingPickN: the fallback chain is deterministic, distinct, starts
+// at the home shard, and never exceeds the membership.
+func TestRingPickN(t *testing.T) {
+	r := NewRing()
+	if got := r.PickN("tenant", 3); got != nil {
+		t.Fatalf("empty ring PickN = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	chain := r.PickN("tenant-a", 10)
+	if len(chain) != 3 {
+		t.Fatalf("chain %v, want all 3 members", chain)
+	}
+	seen := map[string]bool{}
+	for _, s := range chain {
+		if seen[s] {
+			t.Fatalf("chain %v repeats %s", chain, s)
+		}
+		seen[s] = true
+	}
+	home, _ := r.Pick("tenant-a")
+	if chain[0] != home {
+		t.Fatalf("chain %v does not start at home shard %s", chain, home)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.PickN("tenant-a", 10); fmt.Sprint(got) != fmt.Sprint(chain) {
+			t.Fatalf("chain changed across calls: %v vs %v", got, chain)
+		}
+	}
+}

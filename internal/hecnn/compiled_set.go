@@ -1,0 +1,104 @@
+package hecnn
+
+// CompiledSet is the per-tenant compiled-network cache of the sharded
+// serving layer: one CompiledNetwork handle per tenant, keyed by the
+// tenant's registry generation. A tenant's keys rotate or its model
+// updates → the registry bumps the generation → the next request's
+// lookup misses, the stale handle (and every plaintext it warmed) is
+// dropped, and the builder materializes a fresh one. Lookups for the
+// current generation are a mutex-guarded map hit; the expensive rebuild
+// runs outside the lock with singleflight discipline so concurrent
+// requests for a freshly rotated tenant compile once, not N times.
+
+import (
+	"sync"
+)
+
+// compiledEntry is one tenant's resident handle.
+type compiledEntry struct {
+	gen uint64
+	cn  *CompiledNetwork
+	// once guards the build: concurrent Get calls for the same (tenant,
+	// gen) share one materialization.
+	once sync.Once
+	err  error
+}
+
+// CompiledSet maps tenants to generation-keyed CompiledNetwork handles.
+// The zero value is not usable; construct with NewCompiledSet.
+type CompiledSet struct {
+	mu      sync.Mutex
+	entries map[string]*compiledEntry
+}
+
+// NewCompiledSet builds an empty set.
+func NewCompiledSet() *CompiledSet {
+	return &CompiledSet{entries: make(map[string]*compiledEntry)}
+}
+
+// Get returns the tenant's compiled handle for generation gen, building
+// it with build on first sight of the generation. A generation bump
+// atomically supersedes the old entry: requests already evaluating
+// through the old handle finish on it (their backend pinned its own
+// generation at creation), but no new request can obtain it. The
+// resident generation is monotonic — a request that read the registry
+// just before a rotate asks for a stale gen and gets a one-off build
+// (correct for the keys it was encrypted under) without evicting the
+// newer resident handle. build runs at most once per resident (tenant,
+// gen) under concurrency; its error is shared by every waiter and is
+// NOT cached across calls — a failed build is retried by the next Get.
+func (s *CompiledSet) Get(tenant string, gen uint64, build func() (*CompiledNetwork, error)) (*CompiledNetwork, error) {
+	s.mu.Lock()
+	e, ok := s.entries[tenant]
+	if ok && gen < e.gen {
+		// Stale reader racing a rotate: serve it without touching the
+		// resident entry.
+		s.mu.Unlock()
+		return build()
+	}
+	if !ok || e.gen != gen {
+		e = &compiledEntry{gen: gen}
+		s.entries[tenant] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() { e.cn, e.err = build() })
+	if e.err != nil {
+		// Do not let a failed build wedge the generation: drop the entry
+		// (if still current) so the next Get retries.
+		s.mu.Lock()
+		if cur, ok := s.entries[tenant]; ok && cur == e {
+			delete(s.entries, tenant)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.cn, nil
+}
+
+// Invalidate drops the tenant's handle regardless of generation —
+// the delete path, where no new generation will ever arrive.
+func (s *CompiledSet) Invalidate(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, tenant)
+}
+
+// Generation reports the resident generation for tenant (0, false when
+// absent).
+func (s *CompiledSet) Generation(tenant string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[tenant]
+	if !ok {
+		return 0, false
+	}
+	return e.gen, true
+}
+
+// Len reports the number of resident tenants.
+func (s *CompiledSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

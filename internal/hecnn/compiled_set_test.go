@@ -1,0 +1,163 @@
+package hecnn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/cnn"
+)
+
+func testCompiled(t *testing.T, params ckks.Parameters, seed int64) *CompiledNetwork {
+	t.Helper()
+	pnet := cnn.NewTinyNet()
+	pnet.InitWeights(seed)
+	net := Compile(pnet, params.Slots())
+	return NewCompiledNetwork(net, params, ckks.NewEncoder(params), -1)
+}
+
+func TestCompiledSetGenerationKeyed(t *testing.T) {
+	params := tinyParams()
+	set := NewCompiledSet()
+	var builds atomic.Int64
+	build := func(seed int64) func() (*CompiledNetwork, error) {
+		return func() (*CompiledNetwork, error) {
+			builds.Add(1)
+			return testCompiled(t, params, seed), nil
+		}
+	}
+
+	g1, err := set.Get("alice", 1, build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := set.Get("alice", 1, build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != g1 {
+		t.Fatal("same generation returned a different handle")
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times for one generation, want 1", builds.Load())
+	}
+
+	// Generation bump supersedes: new handle, old one still usable by
+	// in-flight holders but unreachable via Get.
+	g2, err := set.Get("alice", 2, build(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == g1 {
+		t.Fatal("generation bump returned the stale handle")
+	}
+	if gen, ok := set.Generation("alice"); !ok || gen != 2 {
+		t.Fatalf("resident generation = %d,%v, want 2,true", gen, ok)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", set.Len())
+	}
+
+	set.Invalidate("alice")
+	if _, ok := set.Generation("alice"); ok {
+		t.Fatal("Invalidate left the tenant resident")
+	}
+}
+
+// TestCompiledSetSingleflight pins the build-once contract: N concurrent
+// Gets for a never-seen (tenant, gen) share exactly one build.
+func TestCompiledSetSingleflight(t *testing.T) {
+	params := tinyParams()
+	set := NewCompiledSet()
+	var builds atomic.Int64
+	const workers = 16
+	handles := make([]*CompiledNetwork, workers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start.Wait()
+			cn, err := set.Get("alice", 1, func() (*CompiledNetwork, error) {
+				builds.Add(1)
+				return testCompiled(t, params, 1), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			handles[w] = cn
+		}(w)
+	}
+	start.Done()
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times under contention, want 1", builds.Load())
+	}
+	for w := 1; w < workers; w++ {
+		if handles[w] != handles[0] {
+			t.Fatalf("worker %d got a different handle", w)
+		}
+	}
+}
+
+// TestCompiledSetFailedBuildRetries pins that a build error is shared by
+// concurrent waiters but not cached: the next Get retries and can
+// succeed.
+func TestCompiledSetFailedBuildRetries(t *testing.T) {
+	params := tinyParams()
+	set := NewCompiledSet()
+	boom := errors.New("keygen exploded")
+	if _, err := set.Get("alice", 1, func() (*CompiledNetwork, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("failed build returned %v, want the build error", err)
+	}
+	if _, ok := set.Generation("alice"); ok {
+		t.Fatal("failed build left a resident entry")
+	}
+	cn, err := set.Get("alice", 1, func() (*CompiledNetwork, error) {
+		return testCompiled(t, params, 1), nil
+	})
+	if err != nil || cn == nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+}
+
+// TestCompiledSetManyTenants drives mixed tenants and generations
+// concurrently; the set must end with every tenant resident at its
+// highest requested generation.
+func TestCompiledSetManyTenants(t *testing.T) {
+	params := tinyParams()
+	set := NewCompiledSet()
+	const tenants = 4
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for gen := uint64(1); gen <= 3; gen++ {
+				name := fmt.Sprintf("t%d", w%tenants)
+				if _, err := set.Get(name, gen, func() (*CompiledNetwork, error) {
+					return testCompiled(t, params, int64(gen)), nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if set.Len() != tenants {
+		t.Fatalf("Len = %d, want %d", set.Len(), tenants)
+	}
+	for i := 0; i < tenants; i++ {
+		if gen, ok := set.Generation(fmt.Sprintf("t%d", i)); !ok || gen != 3 {
+			t.Fatalf("t%d resident at generation %d,%v, want 3", i, gen, ok)
+		}
+	}
+}

@@ -183,12 +183,13 @@ func (c *Client) hedgeDelay(p FailoverPolicy) time.Duration {
 
 // terminalFailover reports whether err cannot be cured by another
 // endpoint or another round: the request itself is bad (every honest
-// replica will refuse it identically) or the caller's context is done.
-// Everything else — busy, shutting-down, internal, transport failures,
-// frame corruption — is endpoint- or moment-local and worth a failover.
+// replica will refuse it identically), its tenant is unknown to the
+// shared registry, or the caller's context is done. Everything else —
+// busy, shutting-down, internal, transport failures, frame corruption —
+// is endpoint- or moment-local and worth a failover.
 func terminalFailover(err error) bool {
 	var se *StatusError
-	if errors.As(err, &se) && se.Code == StatusBadRequest {
+	if errors.As(err, &se) && (se.Code == StatusBadRequest || se.Code == StatusUnknownTenant) {
 		return true
 	}
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
@@ -321,7 +322,7 @@ func (c *Client) attemptOnce(ctx context.Context, ep Endpoint, br *breaker, cts 
 		abs = dl
 	}
 	trw := newTimedRW(conn, c.Timeout, abs)
-	sent, err := writeInferRequest(trw, cts, c.FrameCheck, sp.Context())
+	sent, err := writeInferRequest(trw, cts, c.route(), c.FrameCheck, sp.Context())
 	res.sent = sent
 	if err != nil {
 		res.err = &TransportError{Err: fmt.Errorf("%s: %w", ep.Name, err)}

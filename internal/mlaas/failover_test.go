@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func newFleet(t testing.TB, cfgs ...Config) *fleetFixture {
 	fl := &fleetFixture{fixture: fx}
 	for i, cfg := range cfgs {
 		s := fx.server
-		if i > 0 || cfg != (Config{}) {
+		if i > 0 || !reflect.DeepEqual(cfg, Config{}) {
 			s = NewServerWithConfig(fx.params, fx.henet, fx.rlk, fx.rtk, cfg)
 		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")

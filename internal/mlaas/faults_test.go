@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -33,7 +34,7 @@ type tcpFixture struct {
 func newTCPFixture(t testing.TB, cfg Config) *tcpFixture {
 	t.Helper()
 	fx := newFixture(t)
-	if cfg != (Config{}) {
+	if !reflect.DeepEqual(cfg, Config{}) {
 		fx.server = NewServerWithConfig(fx.params, fx.henet, fx.rlk, fx.rtk, cfg)
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")

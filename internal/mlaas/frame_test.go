@@ -253,12 +253,12 @@ func FuzzClientResponse(f *testing.F) {
 	img := randomImage(92)
 	cts := legacy.encryptRequest(img)
 	req := &bytes.Buffer{}
-	if _, err := writeInferRequest(req, cts, false, telemetry.SpanContext{}); err != nil {
+	if _, err := writeInferRequest(req, cts, RouteHeader{}, false, telemetry.SpanContext{}); err != nil {
 		f.Fatal(err)
 	}
 	honest := handleBuf(fx.server, req.Bytes()).Bytes()
 	reqCRC := &bytes.Buffer{}
-	if _, err := writeInferRequest(reqCRC, cts, true, telemetry.SpanContext{}); err != nil {
+	if _, err := writeInferRequest(reqCRC, cts, RouteHeader{}, true, telemetry.SpanContext{}); err != nil {
 		f.Fatal(err)
 	}
 	honestCRC := handleBuf(fx.server, reqCRC.Bytes()).Bytes()

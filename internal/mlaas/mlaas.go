@@ -59,6 +59,7 @@ import (
 	"fxhenn/internal/cnn"
 	"fxhenn/internal/hecnn"
 	"fxhenn/internal/parallel"
+	"fxhenn/internal/registry"
 	"fxhenn/internal/telemetry"
 )
 
@@ -96,7 +97,10 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes bounds the server's encoded-plaintext cache (the
 	// hecnn.CompiledNetwork behind steady-state zero-encode inference).
-	// 0 (the default) selects hecnn.DefaultPlaintextCacheBytes; a negative
+	// 0 (the default) auto-sizes from the compiled operand set
+	// (hecnn.AutoPlaintextCacheBytes): the stock default when the warm
+	// set fits it, the measured set plus headroom when it doesn't — BSGS
+	// networks outgrow the fixed default and would thrash. A negative
 	// value disables the cache entirely and every request re-encodes its
 	// weight plaintexts, as before PR4.
 	CacheBytes int64
@@ -131,6 +135,18 @@ type Config struct {
 	// position-major BatchedNetwork evaluation per flush (see batch.go).
 	// Per-request LoLa traffic is unaffected.
 	Batch *BatchConfig
+
+	// Registry, when non-nil, enables multi-tenant serving (tenant.go):
+	// requests carrying a routing frame (route.go) resolve through it to
+	// a per-tenant runtime — parameters, keys, compiled network, quota,
+	// batch domain — materialized by Models and cached keyed by the
+	// record's generation. Unrouted requests keep using the server's own
+	// single-tenant network, so a multi-tenant server still serves legacy
+	// clients. Requires Models.
+	Registry *registry.Registry
+	// Models materializes a registry record into serving material; see
+	// ModelBuilder. Required when Registry is set.
+	Models ModelBuilder
 
 	// Metrics, when non-nil, receives the server's telemetry: request
 	// counters by status, phase/request latency histograms, the in-flight
@@ -199,6 +215,11 @@ type Server struct {
 	// evaluation context and the scheduler coalescing batched requests.
 	bparams ckks.Parameters
 	bat     *batcher
+	// Multi-tenant serving (nil unless Config.Registry is set): routed
+	// requests resolve through the registry to per-tenant runtimes. defRT
+	// is the single-tenant default runtime every unrouted request uses.
+	tenants *tenantSet
+	defRT   *tenantRuntime
 
 	// met is nil when Config.Metrics is nil; reqSeq tags every exchange
 	// with a monotonically increasing id that appears in failure messages
@@ -267,7 +288,14 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		// scales the compiled plan consumes, so steady-state requests
 		// perform zero Encoder.Encode calls (responses are bit-identical
 		// either way — see hecnn.TestCompiledZeroEncodeSteadyState).
-		s.compiled = hecnn.NewCompiledNetwork(henet, params, s.ctx.Encoder, cfg.CacheBytes)
+		// Unset budgets auto-size from the compiled operand set: BSGS
+		// operand sets outgrow the fixed default and would thrash the LRU
+		// on every request (hecnn.AutoPlaintextCacheBytes).
+		budget := cfg.CacheBytes
+		if budget == 0 {
+			budget = hecnn.AutoPlaintextCacheBytes(henet, params, params.MaxLevel())
+		}
+		s.compiled = hecnn.NewCompiledNetwork(henet, params, s.ctx.Encoder, budget)
 		s.compiled.SetMetrics(cfg.Metrics)
 		s.compiled.Warm(params.MaxLevel())
 	}
@@ -286,17 +314,55 @@ func NewServerWithConfig(params ckks.Parameters, henet *hecnn.Network, rlk *ckks
 		s.bat.flight = cfg.Flight
 		go s.bat.run()
 	}
+	s.defRT = &tenantRuntime{
+		params:   s.params,
+		net:      s.net,
+		ctx:      s.ctx,
+		compiled: s.compiled,
+		bparams:  s.bparams,
+		bat:      s.bat,
+	}
+	if cfg.Registry != nil {
+		if cfg.Models == nil {
+			panic("mlaas: Config.Registry requires Config.Models")
+		}
+		s.tenants = newTenantSet(cfg.Registry, cfg.Models, s)
+	}
 	return s
 }
 
-// backend returns the evaluation backend for one request: the cached
-// compiled-network backend when the plaintext cache is enabled, otherwise
-// a plain crypto backend. rec may be nil for untraced requests.
+// backend returns the evaluation backend for one request on the default
+// runtime. rec may be nil for untraced requests.
 func (s *Server) backend(rec *hecnn.Recorder) hecnn.Backend {
-	if s.compiled != nil {
-		return s.compiled.Backend(s.ctx, rec)
+	return s.defRT.backend(rec)
+}
+
+// resolveTenant maps a routing frame to its resident runtime: registry
+// lookup (typed unknown-tenant refusal on a miss), client generation
+// check (a client whose keys derive from a rotated-away generation is
+// refused rather than served undecryptable logits), then lazy runtime
+// materialization.
+func (s *Server) resolveTenant(hdr RouteHeader) (*tenantRuntime, *wireError) {
+	if s.tenants == nil {
+		return nil, &wireError{StatusBadRequest, fmt.Sprintf("tenant %q routed to a server without multi-tenant serving", hdr.Tenant)}
 	}
-	return hecnn.NewCryptoBackend(s.ctx, rec)
+	rec, err := s.tenants.reg.Lookup(hdr.Tenant)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			return nil, &wireError{StatusUnknownTenant, fmt.Sprintf("unknown tenant %q", hdr.Tenant)}
+		}
+		return nil, &wireError{StatusInternal, fmt.Sprintf("registry lookup for %q: %v", hdr.Tenant, err)}
+	}
+	if hdr.Generation != 0 && hdr.Generation != rec.Generation {
+		return nil, &wireError{StatusBadRequest, fmt.Sprintf(
+			"tenant %q generation mismatch: client keys at generation %d, registry at %d — re-derive from the current record",
+			hdr.Tenant, hdr.Generation, rec.Generation)}
+	}
+	rt, err := s.tenants.runtime(rec)
+	if err != nil {
+		return nil, &wireError{StatusInternal, fmt.Sprintf("materializing tenant %q: %v", hdr.Tenant, err)}
+	}
+	return rt, nil
 }
 
 // observes reports whether requests need a trace (metrics, slow log, or
@@ -390,6 +456,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// in-flight requests the drain below waits for.
 		s.bat.drain()
 	}
+	if s.tenants != nil {
+		s.tenants.forEachBatcher(func(b *batcher) { b.drain() })
+	}
 
 	var err error
 	select {
@@ -414,6 +483,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Stop the scheduler; any member still pending (forced shutdown)
 		// is failed with StatusShuttingDown rather than evaluated.
 		s.bat.stop()
+	}
+	if s.tenants != nil {
+		s.tenants.forEachBatcher(func(b *batcher) { b.stop() })
 	}
 	return err
 }
@@ -599,6 +671,31 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		}
 		raw = binary.LittleEndian.Uint32(cntBuf[:])
 	}
+	// routeMagic names the tenant (route.go): resolution swaps the serving
+	// runtime from the single-tenant default to the tenant's own —
+	// parameters, keys, compiled network, quota, batch domain. The frame
+	// sits between the trace context and the CRC advertisement, matching
+	// the order clients and the gateway write.
+	run := s.defRT
+	if raw == routeMagic {
+		hdr, err := readRouteBody(rw)
+		if err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading route frame: %v", err)}
+		}
+		var we *wireError
+		if run, we = s.resolveTenant(hdr); we != nil {
+			return we
+		}
+		rt.setTenant(hdr.Tenant)
+		if !run.acquireQuota() {
+			return &wireError{StatusBusy, fmt.Sprintf("tenant %q at its admission quota (%d concurrent)", hdr.Tenant, cap(run.quota))}
+		}
+		defer run.releaseQuota()
+		if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
+			return &wireError{StatusBadRequest, fmt.Sprintf("reading request header: %v", err)}
+		}
+		raw = binary.LittleEndian.Uint32(cntBuf[:])
+	}
 	// crcMagic advertises CRC framing (frame.go): the success response gets
 	// a CRC32 trailer. Like batchMagic it reads as a hostile count on old
 	// servers, so the negotiation needs no version field. The magic may
@@ -610,8 +707,8 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		}
 		raw = binary.LittleEndian.Uint32(cntBuf[:])
 	}
-	if raw == batchMagic && s.bat != nil {
-		return s.serveBatched(rw, rt, phaseStart, releaseSlot, crc)
+	if raw == batchMagic && run.bat != nil {
+		return s.serveBatched(rw, run, rt, phaseStart, releaseSlot, crc)
 	}
 	count := int(raw)
 	// Reject a hostile count before comparing against the model shape or
@@ -621,13 +718,13 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 	if count < 1 || count > maxRequestCiphertexts {
 		return &wireError{StatusBadRequest, fmt.Sprintf("request ciphertext count %d outside [1,%d]", count, maxRequestCiphertexts)}
 	}
-	expect := s.net.Layers[0].(*hecnn.ConvPacked).NumPositions()
+	expect := run.net.Layers[0].(*hecnn.ConvPacked).NumPositions()
 	if count != expect {
 		return &wireError{StatusBadRequest, fmt.Sprintf("expected %d packed ciphertexts, got %d", expect, count)}
 	}
 	cts := make([]*hecnn.CT, 0, count)
 	for i := 0; i < count; i++ {
-		ct, err := ckks.ReadCiphertext(rw, s.params)
+		ct, err := ckks.ReadCiphertext(rw, run.params)
 		if err != nil {
 			return &wireError{StatusBadRequest, fmt.Sprintf("reading ciphertext %d: %v", i, err)}
 		}
@@ -638,7 +735,7 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		rt.timePhase(phaseDecode, now.Sub(phaseStart))
 		phaseStart = now
 	}
-	if err := s.net.ValidateCiphertexts(cts, s.params.MaxLevel()); err != nil {
+	if err := run.net.ValidateCiphertexts(cts, run.params.MaxLevel()); err != nil {
 		return &wireError{StatusBadRequest, err.Error()}
 	}
 	if rt != nil {
@@ -661,13 +758,13 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 		if s.met != nil {
 			tr.Sink = s.met.observeLayer
 		}
-		out = s.net.EvaluateTraced(s.backend(rec), cts, tr)
+		out = run.net.EvaluateTraced(run.backend(rec), cts, tr)
 		rt.layers = tr.Stats
 		now := time.Now()
 		rt.timePhase(phaseEvaluate, now.Sub(phaseStart))
 		phaseStart = now
 	} else {
-		out = s.net.EvaluateEncrypted(s.backend(nil), cts)
+		out = run.net.EvaluateEncrypted(run.backend(nil), cts)
 	}
 	if s.shed != nil {
 		s.shed.observe(time.Since(evalStart))
@@ -703,8 +800,8 @@ func (s *Server) serveRequest(rw *timedRW, rt *reqTrace, releaseSlot func()) (er
 // whole batches under one evaluation slot; a member whose budget expires
 // while parked claims itself away from the next flush and is refused
 // with StatusBusy, never stalling the batch.
-func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, releaseSlot func(), crc bool) error {
-	bnet := s.bat.net
+func (s *Server) serveBatched(rw *timedRW, run *tenantRuntime, rt *reqTrace, phaseStart time.Time, releaseSlot func(), crc bool) error {
+	bnet := run.bat.net
 	var cntBuf [4]byte
 	if _, err := io.ReadFull(rw, cntBuf[:]); err != nil {
 		return &wireError{StatusBadRequest, fmt.Sprintf("reading batched request header: %v", err)}
@@ -718,7 +815,7 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 	}
 	cts := make([]*hecnn.CT, 0, count)
 	for i := 0; i < count; i++ {
-		ct, err := ckks.ReadCiphertext(rw, s.bparams)
+		ct, err := ckks.ReadCiphertext(rw, run.bparams)
 		if err != nil {
 			return &wireError{StatusBadRequest, fmt.Sprintf("reading ciphertext %d: %v", i, err)}
 		}
@@ -729,7 +826,7 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 		rt.timePhase(phaseDecode, now.Sub(phaseStart))
 		phaseStart = now
 	}
-	if err := bnet.ValidateBatchCiphertexts(cts, s.bparams.MaxLevel()); err != nil {
+	if err := bnet.ValidateBatchCiphertexts(cts, run.bparams.MaxLevel()); err != nil {
 		return &wireError{StatusBadRequest, err.Error()}
 	}
 	if rt != nil {
@@ -754,7 +851,7 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 		// The flush span links every member's trace as a follow-from.
 		m.wt = rt.wt
 	}
-	if we := s.bat.submit(m); we != nil {
+	if we := run.bat.submit(m); we != nil {
 		return we
 	}
 	timer := time.NewTimer(time.Until(m.deadline))
@@ -814,6 +911,15 @@ func (s *Server) serveBatched(rw *timedRW, rt *reqTrace, phaseStart time.Time, r
 // writeFailure sends a typed failure response, truncating the message to
 // the wire cap. Write errors are ignored: the peer may already be gone.
 func (s *Server) writeFailure(w io.Writer, status Status, msg string) {
+	WriteFailure(w, status, msg)
+}
+
+// WriteFailure writes a typed failure response in the server's wire
+// framing: the status byte, then the uint32-length-delimited message,
+// truncated to the wire cap. Exported for the gateway, which refuses a
+// request in the protocol's own vocabulary when no shard is reachable.
+// Write errors are ignored: the peer may already be gone.
+func WriteFailure(w io.Writer, status Status, msg string) {
 	if len(msg) > maxErrorMessageBytes {
 		msg = msg[:maxErrorMessageBytes]
 	}
@@ -910,6 +1016,17 @@ type Client struct {
 	// talking to old servers.
 	FrameCheck bool
 
+	// Tenant, when set, prefixes every request with the tenant routing
+	// frame (route.go): the gateway routes it to the tenant's home shard
+	// and a multi-tenant server resolves this tenant's keys, network, and
+	// quota. Leave empty when talking to single-tenant servers.
+	Tenant string
+	// TenantGeneration, when non-zero, pins the registry generation this
+	// client's key material derives from; a server whose registry has
+	// rotated past it refuses the request instead of returning logits the
+	// client cannot decrypt.
+	TenantGeneration uint64
+
 	// BytesSent / BytesReceived accumulate wire traffic; Retries counts
 	// extra attempts performed by InferRetry and InferHedged; Hedges
 	// counts hedged second attempts InferHedged fired.
@@ -978,7 +1095,7 @@ func (c *Client) inferSpan(ctx context.Context, conn io.ReadWriter, img *cnn.Ten
 	trw := newTimedRW(conn, c.Timeout, abs)
 
 	cts := c.encryptRequest(img)
-	sent, err := writeInferRequest(trw, cts, c.FrameCheck, sp.Context())
+	sent, err := writeInferRequest(trw, cts, c.route(), c.FrameCheck, sp.Context())
 	c.BytesSent += sent
 	if err != nil {
 		return nil, &TransportError{Err: err}
@@ -1005,14 +1122,26 @@ func (c *Client) encryptRequest(img *cnn.Tensor) []*ckks.Ciphertext {
 	return cts
 }
 
+// route assembles the client's tenant routing frame; zero when the
+// client is untenanted.
+func (c *Client) route() RouteHeader {
+	return RouteHeader{Tenant: c.Tenant, Generation: c.TenantGeneration}
+}
+
 // writeInferRequest streams one request: the optional trace-context
-// header, the optional crcMagic advertisement, the ciphertext count,
-// then the serialized ciphertexts. Serialization only reads the
-// ciphertexts, so concurrent hedged attempts may stream the same set.
-// A zero tc writes no trace header, keeping the legacy framing
+// header, the optional tenant routing frame, the optional crcMagic
+// advertisement, the ciphertext count, then the serialized ciphertexts.
+// Serialization only reads the ciphertexts, so concurrent hedged
+// attempts may stream the same set. A zero tc writes no trace header and
+// a zero route writes no routing frame, keeping the legacy framing
 // byte-identical.
-func writeInferRequest(w io.Writer, cts []*ckks.Ciphertext, frameCheck bool, tc telemetry.SpanContext) (int64, error) {
+func writeInferRequest(w io.Writer, cts []*ckks.Ciphertext, route RouteHeader, frameCheck bool, tc telemetry.SpanContext) (int64, error) {
 	n, err := writeTraceHeader(w, tc)
+	if err != nil {
+		return n, err
+	}
+	rn, err := writeRouteHeader(w, route)
+	n += rn
 	if err != nil {
 		return n, err
 	}
@@ -1129,6 +1258,13 @@ type BatchClient struct {
 	// carry a matching CRC32 trailer.
 	FrameCheck bool
 
+	// Tenant/TenantGeneration route batched requests to the tenant's
+	// private batch domain, as Client's fields do for the per-request
+	// path. Members of one batch always share a tenant — batching mixes
+	// slots within one key domain, never across tenants.
+	Tenant           string
+	TenantGeneration uint64
+
 	// Flight enables client-side tracing, as Client's: the request runs
 	// under a root span whose context precedes every other wire prefix,
 	// so the server's batch-flush span can link this request's trace.
@@ -1181,6 +1317,11 @@ func (c *BatchClient) inferSpan(ctx context.Context, conn io.ReadWriter, img *cn
 
 	tn, err := writeTraceHeader(trw, sp.Context())
 	c.BytesSent += tn
+	if err != nil {
+		return nil, &TransportError{Err: err}
+	}
+	rn, err := writeRouteHeader(trw, RouteHeader{Tenant: c.Tenant, Generation: c.TenantGeneration})
+	c.BytesSent += rn
 	if err != nil {
 		return nil, &TransportError{Err: err}
 	}

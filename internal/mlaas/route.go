@@ -1,0 +1,127 @@
+package mlaas
+
+// Tenant routing frame. A multi-tenant request names its tenant — and
+// optionally pins the registry generation its keys derive from — behind
+// routeMagic, composing with the other optional prefixes in a fixed
+// order:
+//
+//	[traceMagic ...] [routeMagic u16 len tenant u64 generation] [crcMagic] [batchMagic] count ...
+//
+// Like every other magic the value sits far above maxRequestCiphertexts,
+// so a server predating multi-tenancy refuses a routed request as a
+// hostile ciphertext count instead of misparsing it, and a client with no
+// tenant set produces byte-identical legacy framing. The gateway peeks
+// exactly this prefix (PeekRoute) to pick the tenant's home shard, then
+// replays the consumed bytes ahead of the rest of the stream — the shard
+// parses the same frame and resolves the tenant's serving runtime.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fxhenn/internal/registry"
+)
+
+// routeMagic is the first word of the tenant routing frame ("1TNT" on
+// the wire, little-endian).
+const routeMagic uint32 = 0x544E5431
+
+// maxRouteTenantBytes caps the tenant name on the wire; it matches the
+// registry's own name cap, so every registrable tenant is routable.
+const maxRouteTenantBytes = registry.MaxNameBytes
+
+// RouteHeader names the tenant a request belongs to. Generation, when
+// non-zero, pins the registry generation the client's key material
+// derives from: a server whose registry has moved on (key rotation,
+// model update) refuses the request with a typed bad-request instead of
+// evaluating under mismatched keys and returning undecryptable logits.
+type RouteHeader struct {
+	Tenant     string
+	Generation uint64
+}
+
+// IsZero reports whether the header routes nowhere (the single-tenant
+// default path).
+func (h RouteHeader) IsZero() bool { return h.Tenant == "" }
+
+// writeRouteHeader writes [routeMagic][len][tenant][generation]; a zero
+// header writes nothing, keeping untenanted requests byte-identical to
+// the legacy framing.
+func writeRouteHeader(w io.Writer, h RouteHeader) (int64, error) {
+	if h.IsZero() {
+		return 0, nil
+	}
+	if len(h.Tenant) > maxRouteTenantBytes {
+		return 0, fmt.Errorf("mlaas: tenant name %d bytes exceeds the %d wire cap", len(h.Tenant), maxRouteTenantBytes)
+	}
+	buf := make([]byte, 0, 4+2+len(h.Tenant)+8)
+	buf = binary.LittleEndian.AppendUint32(buf, routeMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(h.Tenant)))
+	buf = append(buf, h.Tenant...)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Generation)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// readRouteBody consumes the route frame after the magic word.
+func readRouteBody(r io.Reader) (RouteHeader, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return RouteHeader{}, fmt.Errorf("reading tenant length: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint16(lenBuf[:]))
+	if n < 1 || n > maxRouteTenantBytes {
+		return RouteHeader{}, fmt.Errorf("tenant name length %d outside [1,%d]", n, maxRouteTenantBytes)
+	}
+	body := make([]byte, n+8)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return RouteHeader{}, fmt.Errorf("reading route body: %w", err)
+	}
+	return RouteHeader{
+		Tenant:     string(body[:n]),
+		Generation: binary.LittleEndian.Uint64(body[n:]),
+	}, nil
+}
+
+// PeekRoute reads the optional [trace][route] prefix of one request and
+// returns the route header (zero when the request carries none), the raw
+// bytes consumed — which the caller must replay ahead of the remaining
+// stream when proxying — and whether a route frame was present. It stops
+// at the first word that is neither prefix magic (that word is part of
+// the consumed bytes too), so the gateway never reads further into a
+// request than the routing decision requires.
+func PeekRoute(r io.Reader) (hdr RouteHeader, consumed []byte, routed bool, err error) {
+	tr := io.TeeReader(r, &sliceWriter{&consumed})
+	var word [4]byte
+	for {
+		if _, err = io.ReadFull(tr, word[:]); err != nil {
+			return RouteHeader{}, consumed, false, fmt.Errorf("reading request prefix: %w", err)
+		}
+		switch binary.LittleEndian.Uint32(word[:]) {
+		case traceMagic:
+			if _, err = io.CopyN(io.Discard, tr, traceBodyLen); err != nil {
+				return RouteHeader{}, consumed, false, fmt.Errorf("reading trace context: %w", err)
+			}
+		case routeMagic:
+			hdr, err = readRouteBody(tr)
+			if err != nil {
+				return RouteHeader{}, consumed, false, err
+			}
+			return hdr, consumed, true, nil
+		default:
+			// crcMagic, batchMagic, or the ciphertext count: the routing
+			// window is over and this request names no tenant.
+			return RouteHeader{}, consumed, false, nil
+		}
+	}
+}
+
+// sliceWriter appends everything written to the target slice; it is how
+// PeekRoute captures the consumed prefix for replay.
+type sliceWriter struct{ dst *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.dst = append(*w.dst, p...)
+	return len(p), nil
+}

@@ -31,6 +31,11 @@ const (
 	// StatusShuttingDown: the server is draining and accepts no new
 	// work. Retry against another replica, not this one.
 	StatusShuttingDown Status = 4
+	// StatusUnknownTenant: the request's routing frame named a tenant the
+	// server's registry does not hold. Every honest shard shares the
+	// registry, so the refusal is terminal — failover to another replica
+	// cannot cure it.
+	StatusUnknownTenant Status = 5
 )
 
 func (s Status) String() string {
@@ -45,6 +50,8 @@ func (s Status) String() string {
 		return "busy"
 	case StatusShuttingDown:
 		return "shutting-down"
+	case StatusUnknownTenant:
+		return "unknown-tenant"
 	default:
 		return fmt.Sprintf("status(%d)", byte(s))
 	}

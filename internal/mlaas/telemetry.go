@@ -38,7 +38,8 @@ const (
 	MetricShedTotal      = "mlaas_shed_total"          // counter: requests refused by the shedder
 	MetricEvalEWMA       = "mlaas_eval_ewma_seconds"   // gauge: the shedder's latency estimate
 	MetricBatchDegraded  = "mlaas_batch_degraded_total"
-	MetricBatchBreaker   = "mlaas_batch_breaker_state" // gauge: 0 closed, 1 half-open, 2 open
+	MetricBatchBreaker   = "mlaas_batch_breaker_state"   // gauge: 0 closed, 1 half-open, 2 open
+	MetricTenantRequests = "mlaas_tenant_requests_total" // counter{tenant,status}
 )
 
 // Metric families exported by the client (Client.SetMetrics), so fleet
@@ -136,7 +137,7 @@ type layerMetrics struct {
 
 // serverMetrics holds every handle the request path needs, resolved once.
 type serverMetrics struct {
-	requests [5]*telemetry.Counter // indexed by Status
+	requests [6]*telemetry.Counter // indexed by Status
 	phases   [numPhases]*telemetry.Histogram
 	request  *telemetry.Histogram
 	inflight *telemetry.Gauge
@@ -150,14 +151,21 @@ type serverMetrics struct {
 
 	shed     *telemetry.Counter
 	evalEWMA *telemetry.Gauge
+
+	// reg backs the lazily-resolved per-tenant counters: tenants appear
+	// at runtime (registry registrations), so their handles cannot be
+	// resolved at construction like everything above.
+	reg      *telemetry.Registry
+	tenantMu sync.Mutex
+	tenants  map[string]*[6]*telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry, henet *hecnn.Network) *serverMetrics {
 	if reg == nil {
 		return nil
 	}
-	m := &serverMetrics{layers: map[string]layerMetrics{}}
-	for st := StatusOK; st <= StatusShuttingDown; st++ {
+	m := &serverMetrics{layers: map[string]layerMetrics{}, reg: reg, tenants: map[string]*[6]*telemetry.Counter{}}
+	for st := StatusOK; st <= StatusUnknownTenant; st++ {
 		m.requests[st] = reg.Counter(MetricRequestsTotal,
 			"completed exchanges by typed wire status", telemetry.L("status", st.String()))
 	}
@@ -212,6 +220,28 @@ func (m *serverMetrics) observeBatch(occupancy int, reason flushReason) {
 	}
 	m.batchOccupancy.Observe(float64(occupancy))
 	m.batchFlushes[reason].Inc()
+}
+
+// observeTenant counts one routed exchange under its tenant label,
+// resolving the tenant's counter family on first sight. Unrouted
+// (default-tenant) exchanges stay out of the family.
+func (m *serverMetrics) observeTenant(tenant string, st Status) {
+	if m == nil || tenant == "" {
+		return
+	}
+	m.tenantMu.Lock()
+	cs, ok := m.tenants[tenant]
+	if !ok {
+		cs = new([6]*telemetry.Counter)
+		for s := StatusOK; s <= StatusUnknownTenant; s++ {
+			cs[s] = m.reg.Counter(MetricTenantRequests,
+				"completed routed exchanges by tenant and typed wire status",
+				telemetry.L("tenant", tenant), telemetry.L("status", s.String()))
+		}
+		m.tenants[tenant] = cs
+	}
+	m.tenantMu.Unlock()
+	cs[st].Inc()
 }
 
 // observeShed counts one shedder refusal.
@@ -278,6 +308,17 @@ type reqTrace struct {
 	flushCtx telemetry.SpanContext
 	shed     bool
 	degraded bool
+	// tenant is the routed tenant name ("" for default-tenant requests);
+	// it keys the per-tenant outcome counters.
+	tenant string
+}
+
+// setTenant records the routed tenant for outcome accounting.
+func (rt *reqTrace) setTenant(name string) {
+	if rt == nil {
+		return
+	}
+	rt.tenant = name
 }
 
 // timePhase records d against p (keeping the max on re-entry, which
@@ -318,6 +359,7 @@ func (s *Server) outcome(rt *reqTrace, st Status) {
 	if rt == nil {
 		return
 	}
+	m.observeTenant(rt.tenant, st)
 	total := time.Since(rt.start)
 	slow := s.cfg.SlowRequestThreshold > 0 && total >= s.cfg.SlowRequestThreshold
 

@@ -1,0 +1,276 @@
+package mlaas
+
+// Multi-tenant serving. A server with Config.Registry set resolves each
+// routed request (route.go) to a tenantRuntime: the tenant's CKKS
+// parameters, compiled network, evaluation keys, warmed plaintext cache,
+// admission quota, and — when the record enables it — a private batch
+// domain. Runtimes are materialized lazily from the registry record by
+// Config.Models and cached keyed by the record's generation, so a key
+// rotation or model update invalidates exactly one tenant's runtime and
+// the next request rebuilds it; requests already evaluating on the old
+// runtime finish on it. The expensive pieces (key derivation, network
+// compilation, cache warm) run once per (tenant, generation) under
+// singleflight, with the compiled network itself living in a
+// hecnn.CompiledSet.
+
+import (
+	"fmt"
+	"sync"
+
+	"fxhenn/internal/ckks"
+	"fxhenn/internal/hecnn"
+	"fxhenn/internal/registry"
+)
+
+// TenantModel is the serving material one registry record materializes
+// to: everything a shard needs to evaluate that tenant's requests. The
+// builder derives it deterministically from the record's seeds — the
+// registry never holds raw key material, and a client deriving from the
+// same seeds produces bit-identical keys.
+type TenantModel struct {
+	Params ckks.Parameters
+	Net    *hecnn.Network
+	Rlk    *ckks.RelinearizationKey
+	Rtk    *ckks.RotationKeys
+	// Batch, when non-nil, gives the tenant a private batch domain: its
+	// own batch-ring instantiation and flush policy, scheduled by a
+	// per-tenant batcher that shares the server's admission slots.
+	Batch *BatchConfig
+}
+
+// ModelBuilder materializes a registry record into serving material.
+// It runs under singleflight per (tenant, generation) and its result is
+// cached until the record's generation moves.
+type ModelBuilder func(rec registry.Record) (*TenantModel, error)
+
+// tenantRuntime is one tenant's resident serving state — or the
+// server's own single-tenant default when tenant is "".
+type tenantRuntime struct {
+	tenant   string
+	gen      uint64
+	params   ckks.Parameters
+	net      *hecnn.Network
+	ctx      *hecnn.Context
+	compiled *hecnn.CompiledNetwork // nil disables the plaintext cache
+	bparams  ckks.Parameters
+	bat      *batcher // nil disables batched serving for this runtime
+
+	// quota is the tenant's admission quota (registry Record.Quota): a
+	// counting semaphore acquired after the server-wide admission slot.
+	// nil leaves the tenant bounded only by the server-wide limit.
+	quota chan struct{}
+}
+
+// backend returns the evaluation backend for one request on this
+// runtime: the warmed compiled-network backend when the cache is
+// enabled, a plain crypto backend otherwise.
+func (rt *tenantRuntime) backend(rec *hecnn.Recorder) hecnn.Backend {
+	if rt.compiled != nil {
+		return rt.compiled.Backend(rt.ctx, rec)
+	}
+	return hecnn.NewCryptoBackend(rt.ctx, rec)
+}
+
+// acquireQuota claims one tenant-quota slot, fail-fast: a tenant at its
+// quota is refused StatusBusy without consuming the other tenants'
+// headroom (the server-wide slot is released immediately after).
+func (rt *tenantRuntime) acquireQuota() bool {
+	if rt.quota == nil {
+		return true
+	}
+	select {
+	case rt.quota <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (rt *tenantRuntime) releaseQuota() {
+	if rt.quota != nil {
+		<-rt.quota
+	}
+}
+
+// tenantEntry is one tenant's resident runtime slot in the tenantSet,
+// with the same generation-keyed singleflight discipline as
+// hecnn.CompiledSet (which holds the compiled network inside it).
+type tenantEntry struct {
+	gen  uint64
+	once sync.Once
+	rt   *tenantRuntime
+	err  error
+}
+
+// tenantSet resolves registry records to resident runtimes.
+type tenantSet struct {
+	reg   *registry.Registry
+	build ModelBuilder
+	// compiled is the generation-keyed compiled-network cache shared by
+	// every tenant's runtime build.
+	compiled *hecnn.CompiledSet
+	// srv supplies the shared pieces a runtime plugs into: the worker
+	// pool, metrics, the admitter (per-tenant batchers share the
+	// server-wide evaluation slots), and the cache-sizing default.
+	srv *Server
+
+	mu      sync.Mutex
+	entries map[string]*tenantEntry
+}
+
+func newTenantSet(reg *registry.Registry, build ModelBuilder, srv *Server) *tenantSet {
+	ts := &tenantSet{
+		reg:      reg,
+		build:    build,
+		compiled: hecnn.NewCompiledSet(),
+		srv:      srv,
+		entries:  make(map[string]*tenantEntry),
+	}
+	// Eager invalidation: rotate/update/delete events drop the stale
+	// runtime (and stop its batcher) immediately instead of waiting for
+	// the next request's generation miss — a deleted tenant sees no next
+	// request, so laziness alone would leak its runtime forever.
+	reg.Subscribe(ts.notify)
+	return ts
+}
+
+// runtime returns the resident runtime for rec, building it on first
+// sight of the record's generation. Stale-generation races follow
+// hecnn.CompiledSet's monotonic rule: a reader that looked up the record
+// just before a rotate gets a one-off runtime for its keys without
+// evicting the newer resident one.
+func (ts *tenantSet) runtime(rec registry.Record) (*tenantRuntime, error) {
+	ts.mu.Lock()
+	e, ok := ts.entries[rec.Tenant]
+	if ok && rec.Generation < e.gen {
+		ts.mu.Unlock()
+		return ts.materialize(rec)
+	}
+	if !ok || e.gen != rec.Generation {
+		e = &tenantEntry{gen: rec.Generation}
+		old := ts.entries[rec.Tenant]
+		ts.entries[rec.Tenant] = e
+		ts.mu.Unlock()
+		ts.retire(old)
+	} else {
+		ts.mu.Unlock()
+	}
+
+	e.once.Do(func() { e.rt, e.err = ts.materialize(rec) })
+	if e.err != nil {
+		// A failed build must not wedge the generation: drop the entry (if
+		// still current) so the next request retries.
+		ts.mu.Lock()
+		if cur, ok := ts.entries[rec.Tenant]; ok && cur == e {
+			delete(ts.entries, rec.Tenant)
+		}
+		ts.mu.Unlock()
+		return nil, e.err
+	}
+	return e.rt, nil
+}
+
+// materialize builds one runtime from its record: derive the model and
+// keys, attach the shared worker pool, compile-and-warm the plaintext
+// cache through the generation-keyed CompiledSet, and start the private
+// batch domain when the record carries one.
+func (ts *tenantSet) materialize(rec registry.Record) (*tenantRuntime, error) {
+	tm, err := ts.build(rec)
+	if err != nil {
+		return nil, fmt.Errorf("materializing tenant %q generation %d: %w", rec.Tenant, rec.Generation, err)
+	}
+	tm.Params.AttachPool(ts.srv.pool)
+	rt := &tenantRuntime{
+		tenant: rec.Tenant,
+		gen:    rec.Generation,
+		params: tm.Params,
+		net:    tm.Net,
+		ctx: &hecnn.Context{
+			Params:  tm.Params,
+			Encoder: ckks.NewEncoder(tm.Params),
+			Eval:    ckks.NewEvaluator(tm.Params, tm.Rlk, tm.Rtk),
+		},
+	}
+	if q := rec.Quota.MaxConcurrent; q > 0 {
+		rt.quota = make(chan struct{}, q)
+	}
+	if cb := ts.srv.cfg.CacheBytes; cb >= 0 {
+		rt.compiled, err = ts.compiled.Get(rec.Tenant, rec.Generation, func() (*hecnn.CompiledNetwork, error) {
+			budget := cb
+			if budget == 0 {
+				// Auto-size from the compiled operand set, so a tenant whose
+				// model's warm set exceeds the flat default (BSGS at MNIST
+				// scale) never silently thrashes its cache.
+				budget = hecnn.AutoPlaintextCacheBytes(tm.Net, tm.Params, tm.Params.MaxLevel())
+			}
+			cn := hecnn.NewCompiledNetwork(tm.Net, tm.Params, rt.ctx.Encoder, budget)
+			cn.SetMetrics(ts.srv.cfg.Metrics)
+			cn.Warm(tm.Params.MaxLevel())
+			return cn, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if tm.Batch != nil {
+		bc := tm.Batch.withDefaults()
+		rt.bparams = bc.Params
+		bc.Params.AttachPool(ts.srv.pool)
+		bctx := &hecnn.Context{
+			Params:  bc.Params,
+			Encoder: ckks.NewEncoder(bc.Params),
+			Eval:    ckks.NewEvaluator(bc.Params, bc.Rlk, bc.Rtk),
+		}
+		cbat := hecnn.NewCompiledBatched(bc.Net, bc.Params, bctx.Encoder, bc.CacheBytes)
+		cbat.SetMetrics(ts.srv.cfg.Metrics)
+		cbat.Warm(bc.Params.MaxLevel())
+		rt.bat = newBatcher(bc, bctx, cbat, ts.srv.adm, ts.srv.met)
+		rt.bat.flight = ts.srv.cfg.Flight
+		go rt.bat.run()
+	}
+	return rt, nil
+}
+
+// notify is the registry subscription: gen is the generation after the
+// mutation, so any resident entry below it is stale. Deletes notify one
+// past the last generation, which retires the entry the same way.
+func (ts *tenantSet) notify(tenant string, gen uint64) {
+	ts.mu.Lock()
+	e, ok := ts.entries[tenant]
+	if ok && e.gen < gen {
+		delete(ts.entries, tenant)
+	} else {
+		e = nil
+	}
+	ts.mu.Unlock()
+	if e != nil {
+		ts.compiled.Invalidate(tenant)
+		ts.retire(e)
+	}
+}
+
+// retire stops a superseded entry's private batch domain. The runtime
+// itself needs no teardown — in-flight requests hold their own
+// references and finish on it.
+func (ts *tenantSet) retire(e *tenantEntry) {
+	if e == nil || e.rt == nil || e.rt.bat == nil {
+		return
+	}
+	e.rt.bat.stop()
+}
+
+// forEachBatcher visits every resident runtime's private batcher — the
+// server's drain/stop fan-out.
+func (ts *tenantSet) forEachBatcher(f func(*batcher)) {
+	ts.mu.Lock()
+	bats := make([]*batcher, 0, len(ts.entries))
+	for _, e := range ts.entries {
+		if e.rt != nil && e.rt.bat != nil {
+			bats = append(bats, e.rt.bat)
+		}
+	}
+	ts.mu.Unlock()
+	for _, b := range bats {
+		f(b)
+	}
+}

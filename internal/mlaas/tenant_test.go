@@ -1,0 +1,364 @@
+package mlaas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fxhenn/internal/cnn"
+	"fxhenn/internal/registry"
+)
+
+// newTenantFixture builds a multi-tenant server over an in-memory
+// registry with the standard catalog, plus a dialable listener.
+func newTenantFixture(t *testing.T, recs ...registry.Record) (*Server, *registry.Registry, string) {
+	t.Helper()
+	fx := newFixture(t)
+	reg := registry.New(registry.NewMemStore())
+	for _, rec := range recs {
+		if err := reg.Register(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServerWithConfig(fx.params, fx.henet, fx.rlk, fx.rtk, Config{
+		Registry: reg,
+		Models:   StandardCatalog(),
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l) //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	return s, reg, l.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func tenantImage(pnet *cnn.Network, seed int64) *cnn.Tensor {
+	img := cnn.NewTensor(pnet.InC, pnet.InH, pnet.InW)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	return img
+}
+
+// TestTenantRoutedInference drives two tenants with different weights
+// and keys through one multi-tenant server: each must get its own
+// model's logits back, and the default (unrouted) path must keep
+// serving the server's own network.
+func TestTenantRoutedInference(t *testing.T) {
+	alice := registry.Record{Tenant: "alice", Model: "tiny", WeightSeed: 100, KeySeed: 101}
+	bob := registry.Record{Tenant: "bob", Model: "tinyconv", WeightSeed: 200, KeySeed: 201}
+	s, reg, addr := newTenantFixture(t, alice, bob)
+
+	for _, rec := range []registry.Record{alice, bob} {
+		got, err := reg.Lookup(rec.Tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := StandardTenantClient(got, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pnet, err := StandardPlaintext(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := tenantImage(pnet, 3)
+		want := pnet.Infer(img)
+
+		conn := dialT(t, addr)
+		logits, err := client.Infer(context.Background(), conn, img)
+		conn.Close()
+		if err != nil {
+			t.Fatalf("tenant %s: %v", rec.Tenant, err)
+		}
+		for i := range want {
+			if math.Abs(logits[i]-want[i]) > 1e-2 {
+				t.Fatalf("tenant %s logit %d: %g vs %g", rec.Tenant, i, logits[i], want[i])
+			}
+		}
+	}
+	if s.Served() != 2 {
+		t.Fatalf("served = %d, want 2", s.Served())
+	}
+}
+
+// TestTenantUnknownAndGenerationMismatch pins the typed refusals: a
+// tenant missing from the registry is StatusUnknownTenant (terminal for
+// failover), and a client pinned to a rotated-away generation is refused
+// instead of served undecryptable logits.
+func TestTenantUnknownAndGenerationMismatch(t *testing.T) {
+	alice := registry.Record{Tenant: "alice", Model: "tiny", WeightSeed: 100, KeySeed: 101}
+	_, reg, addr := newTenantFixture(t, alice)
+
+	rec, err := reg.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := StandardTenantClient(rec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pnet, _ := StandardPlaintext(rec)
+	img := tenantImage(pnet, 3)
+
+	// Unknown tenant: typed status, and terminal for failover.
+	client.Tenant = "mallory"
+	conn := dialT(t, addr)
+	_, err = client.Infer(context.Background(), conn, img)
+	conn.Close()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusUnknownTenant {
+		t.Fatalf("unknown tenant: %v, want StatusUnknownTenant", err)
+	}
+	if !terminalFailover(err) {
+		t.Fatal("StatusUnknownTenant must be terminal for failover")
+	}
+
+	// Rotate alice's keys; the old-generation client must be refused.
+	if _, err := reg.Rotate("alice", 999); err != nil {
+		t.Fatal(err)
+	}
+	client.Tenant = "alice"
+	conn = dialT(t, addr)
+	_, err = client.Infer(context.Background(), conn, img)
+	conn.Close()
+	if !errors.As(err, &se) || se.Code != StatusBadRequest {
+		t.Fatalf("stale generation: %v, want StatusBadRequest", err)
+	}
+
+	// A client re-derived from the rotated record works again.
+	rec, err = reg.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := StandardTenantClient(rec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pnet.Infer(img)
+	conn = dialT(t, addr)
+	logits, err := fresh.Infer(context.Background(), conn, img)
+	conn.Close()
+	if err != nil {
+		t.Fatalf("post-rotate inference: %v", err)
+	}
+	for i := range want {
+		if math.Abs(logits[i]-want[i]) > 1e-2 {
+			t.Fatalf("post-rotate logit %d: %g vs %g", i, logits[i], want[i])
+		}
+	}
+}
+
+// TestTenantQuota pins the per-tenant admission quota: with alice capped
+// at 1 concurrent evaluation, a second simultaneous request is refused
+// StatusBusy while bob (uncapped) is untouched — tenant saturation never
+// consumes another tenant's headroom.
+func TestTenantQuota(t *testing.T) {
+	alice := registry.Record{Tenant: "alice", Model: "tiny", WeightSeed: 100, KeySeed: 101,
+		Quota: registry.Quota{MaxConcurrent: 1}}
+	bob := registry.Record{Tenant: "bob", Model: "tiny", WeightSeed: 100, KeySeed: 301}
+	s, reg, addr := newTenantFixture(t, alice, bob)
+
+	// Stall evaluation so concurrent requests overlap deterministically.
+	gate := make(chan struct{})
+	var once sync.Once
+	s.testEvalHook = func() { <-gate }
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+
+	arec, _ := reg.Lookup("alice")
+	brec, _ := reg.Lookup("bob")
+	pnet, _ := StandardPlaintext(arec)
+	img := tenantImage(pnet, 3)
+
+	first, err := StandardTenantClient(arec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDone := make(chan error, 1)
+	firstConn := dialT(t, addr)
+	defer firstConn.Close()
+	go func() {
+		_, err := first.Infer(context.Background(), firstConn, img)
+		firstDone <- err
+	}()
+
+	// Wait until the first request actually holds alice's only quota slot
+	// (inflight counts requests before they reach the quota gate, so poll
+	// the slot itself).
+	waitQuotaHeld(t, s, "alice", 1)
+
+	second, err := StandardTenantClient(arec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialT(t, addr)
+	_, err = second.Infer(context.Background(), conn, img)
+	conn.Close()
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusBusy {
+		t.Fatalf("quota overflow: %v, want StatusBusy", err)
+	}
+
+	// Bob is unaffected by alice's saturation — but his request would park
+	// in the same eval hook, so release the gate first and let both finish.
+	release()
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first alice request: %v", err)
+	}
+	bclient, err := StandardTenantClient(brec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn = dialT(t, addr)
+	_, err = bclient.Infer(context.Background(), conn, img)
+	conn.Close()
+	if err != nil {
+		t.Fatalf("bob during alice saturation: %v", err)
+	}
+}
+
+// TestTenantBatchDomain drives a tenant's private batch domain: the
+// record enables batching, the client derives the batch-ring ceremony
+// (KeySeed+1), and two concurrent requests share one batched evaluation
+// with per-request logits matching the plaintext network.
+func TestTenantBatchDomain(t *testing.T) {
+	carol := registry.Record{Tenant: "carol", Model: "tiny", WeightSeed: 400, KeySeed: 401,
+		Batch: registry.Batch{Size: 2, WindowMS: 5}}
+	_, reg, addr := newTenantFixture(t, carol)
+
+	rec, err := reg.Lookup("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := rec.Batch.Window(); w != 5*time.Millisecond {
+		t.Fatalf("batch window %v, want 5ms", w)
+	}
+	pnet, err := StandardPlaintext(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A record without a batch domain must refuse a batch client.
+	if _, err := StandardTenantBatchClient(registry.Record{Tenant: "x", Model: "tiny"}, 1); err == nil {
+		t.Fatal("batch client derived from a batchless record")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := StandardTenantBatchClient(rec, int64(40+i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			img := tenantImage(pnet, int64(50+i))
+			want := pnet.Infer(img)
+			conn := dialT(t, addr)
+			defer conn.Close()
+			logits, err := client.Infer(context.Background(), conn, img)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for j := range want {
+				if math.Abs(logits[j]-want[j]) > 1e-2 {
+					errs[i] = fmt.Errorf("request %d logit %d: %g vs %g", i, j, logits[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch request %d: %v", i, err)
+		}
+	}
+}
+
+// waitQuotaHeld spins until n of the tenant's quota slots are occupied.
+func waitQuotaHeld(t *testing.T, s *Server, tenant string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s.tenants.mu.Lock()
+		entry, ok := s.tenants.entries[tenant]
+		s.tenants.mu.Unlock()
+		if ok {
+			// entry.rt is published by entry.once; joining the Once gives the
+			// happens-before edge this read needs.
+			entry.once.Do(func() {})
+			if entry.rt != nil && entry.rt.quota != nil && len(entry.rt.quota) >= n {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d held quota slots of %q", n, tenant)
+}
+
+// TestTenantRuntimeInvalidatedOnRotate pins the eager-invalidation path:
+// after a rotate, the tenant set's resident runtime is gone before any
+// new request arrives (the registry subscription, not the lazy lookup,
+// dropped it).
+func TestTenantRuntimeInvalidatedOnRotate(t *testing.T) {
+	alice := registry.Record{Tenant: "alice", Model: "tiny", WeightSeed: 100, KeySeed: 101}
+	s, reg, addr := newTenantFixture(t, alice)
+
+	rec, _ := reg.Lookup("alice")
+	client, err := StandardTenantClient(rec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pnet, _ := StandardPlaintext(rec)
+	img := tenantImage(pnet, 3)
+	conn := dialT(t, addr)
+	if _, err := client.Infer(context.Background(), conn, img); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	s.tenants.mu.Lock()
+	_, resident := s.tenants.entries["alice"]
+	s.tenants.mu.Unlock()
+	if !resident {
+		t.Fatal("runtime not resident after a served request")
+	}
+	if _, err := reg.Rotate("alice", 999); err != nil {
+		t.Fatal(err)
+	}
+	s.tenants.mu.Lock()
+	_, resident = s.tenants.entries["alice"]
+	s.tenants.mu.Unlock()
+	if resident {
+		t.Fatal("rotate left the stale runtime resident")
+	}
+	if _, ok := s.tenants.compiled.Generation("alice"); ok {
+		t.Fatal("rotate left the stale compiled network resident")
+	}
+}

@@ -55,7 +55,7 @@ func TestUntracedWireBytesIdentical(t *testing.T) {
 	}
 
 	var got bytes.Buffer
-	if _, err := writeInferRequest(&got, cts, false, telemetry.SpanContext{}); err != nil {
+	if _, err := writeInferRequest(&got, cts, RouteHeader{}, false, telemetry.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
@@ -68,7 +68,7 @@ func TestUntracedWireBytesIdentical(t *testing.T) {
 	wantCRC.Write(cnt[:])
 	wantCRC.Write(want.Bytes())
 	var gotCRC bytes.Buffer
-	if _, err := writeInferRequest(&gotCRC, cts, true, telemetry.SpanContext{}); err != nil {
+	if _, err := writeInferRequest(&gotCRC, cts, RouteHeader{}, true, telemetry.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(gotCRC.Bytes(), wantCRC.Bytes()) {
@@ -78,7 +78,7 @@ func TestUntracedWireBytesIdentical(t *testing.T) {
 	// Traced: the same legacy bytes behind [traceMagic][trace][parent].
 	sp := telemetry.StartTrace("probe")
 	var traced bytes.Buffer
-	if _, err := writeInferRequest(&traced, cts, false, sp.Context()); err != nil {
+	if _, err := writeInferRequest(&traced, cts, RouteHeader{}, false, sp.Context()); err != nil {
 		t.Fatal(err)
 	}
 	if traced.Len() != want.Len()+4+traceBodyLen {

@@ -1,0 +1,194 @@
+package registry
+
+// FileStore persists the registry as one JSON file: a versioned envelope
+// holding every record, replaced atomically on each mutation
+// (write-to-temp, fsync, rename), so a crash mid-write leaves the
+// previous registry intact rather than a half-written one. Decoding is
+// defensive — a truncated, corrupt, or wrong-version file is a typed
+// ErrCorrupt, and a record that decodes but fails validation is refused
+// the same way. The whole registry rides in memory between writes; at
+// fleet scale the file is a bootstrap/backup format, not a database.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// fileVersion is the envelope schema version. Decoders refuse any other
+// value rather than guessing at field meanings.
+const fileVersion = 1
+
+// maxFileBytes bounds how much of a registry file the decoder will read:
+// a multi-gigabyte "registry" is corruption or hostility, not data.
+const maxFileBytes = 16 << 20
+
+// fileEnvelope is the on-disk form.
+type fileEnvelope struct {
+	Version int      `json:"version"`
+	Records []Record `json:"records"`
+}
+
+// FileStore is the on-disk Store. Construct with OpenFileStore.
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+	recs map[string]Record
+}
+
+// OpenFileStore loads (or creates) the registry file at path. A missing
+// file is an empty registry; an unreadable or undecodable one is a typed
+// error — never a silently empty registry over live data.
+func OpenFileStore(path string) (*FileStore, error) {
+	st := &FileStore{path: path, recs: make(map[string]Record)}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return st, nil
+	case err != nil:
+		return nil, fmt.Errorf("registry: reading %s: %w", path, err)
+	}
+	recs, err := DecodeFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, rec := range recs {
+		st.recs[rec.Tenant] = rec
+	}
+	return st, nil
+}
+
+// DecodeFile decodes a registry file image into its records, enforcing
+// the envelope version, the byte cap, per-record validation, and tenant
+// uniqueness. Every failure wraps ErrCorrupt; the function never
+// panics, whatever the bytes — it is the fuzz target's entry point.
+func DecodeFile(data []byte) ([]Record, error) {
+	if len(data) > maxFileBytes {
+		return nil, fmt.Errorf("%w: file is %d bytes, cap %d", ErrCorrupt, len(data), maxFileBytes)
+	}
+	var env fileEnvelope
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	// Trailing garbage after the envelope means the file was appended to
+	// or spliced — refuse it rather than silently dropping bytes.
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after envelope", ErrCorrupt)
+	}
+	if env.Version != fileVersion {
+		return nil, fmt.Errorf("%w: envelope version %d, want %d", ErrCorrupt, env.Version, fileVersion)
+	}
+	seen := make(map[string]bool, len(env.Records))
+	for _, rec := range env.Records {
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: record %q: %v", ErrCorrupt, rec.Tenant, err)
+		}
+		if seen[rec.Tenant] {
+			return nil, fmt.Errorf("%w: duplicate tenant %q", ErrCorrupt, rec.Tenant)
+		}
+		seen[rec.Tenant] = true
+	}
+	return env.Records, nil
+}
+
+// EncodeFile renders records into the on-disk envelope form.
+func EncodeFile(recs []Record) ([]byte, error) {
+	return json.MarshalIndent(fileEnvelope{Version: fileVersion, Records: recs}, "", "  ")
+}
+
+// flush writes the current record set atomically: temp file in the same
+// directory, fsync, rename over the target. Called with mu held.
+func (f *FileStore) flush() error {
+	recs := make([]Record, 0, len(f.recs))
+	for _, rec := range f.recs {
+		recs = append(recs, rec)
+	}
+	data, err := EncodeFile(recs)
+	if err != nil {
+		return fmt.Errorf("registry: encoding %s: %w", f.path, err)
+	}
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, ".registry-*")
+	if err != nil {
+		return fmt.Errorf("registry: temp file in %s: %w", dir, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		return fmt.Errorf("registry: replacing %s: %w", f.path, err)
+	}
+	return nil
+}
+
+// Put implements Store, persisting before the in-memory map mutates so a
+// failed write leaves memory and disk agreeing.
+func (f *FileStore) Put(rec Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev, had := f.recs[rec.Tenant]
+	f.recs[rec.Tenant] = rec
+	if err := f.flush(); err != nil {
+		if had {
+			f.recs[rec.Tenant] = prev
+		} else {
+			delete(f.recs, rec.Tenant)
+		}
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (f *FileStore) Get(tenant string) (Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec, ok := f.recs[tenant]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, tenant)
+	}
+	return rec, nil
+}
+
+// Delete implements Store.
+func (f *FileStore) Delete(tenant string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev, ok := f.recs[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, tenant)
+	}
+	delete(f.recs, tenant)
+	if err := f.flush(); err != nil {
+		f.recs[tenant] = prev
+		return err
+	}
+	return nil
+}
+
+// List implements Store.
+func (f *FileStore) List() ([]Record, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Record, 0, len(f.recs))
+	for _, rec := range f.recs {
+		out = append(out, rec)
+	}
+	return out, nil
+}
